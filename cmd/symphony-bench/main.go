@@ -1,0 +1,139 @@
+// Command symphony-bench regenerates every figure and quantitative claim
+// of "Serve Programs, Not Prompts" (HOTOS '25) from this repository's
+// simulated reproduction. Each experiment prints the table(s) documented
+// in EXPERIMENTS.md; DESIGN.md §4 maps experiment IDs to paper artifacts.
+//
+// Usage:
+//
+//	symphony-bench -exp fig3          # the paper's Figure 3 (both panels)
+//	symphony-bench -exp all -quick    # everything, reduced grids
+//
+// Experiments: fig3, toolcalls, constrained, speculative, multiround,
+// tot, editor, batching, overhead, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|all)")
+	quick := flag.Bool("quick", false, "use reduced grids for a fast pass")
+	flag.Parse()
+
+	start := time.Now()
+	ran := false
+	for _, e := range []struct {
+		name string
+		fn   func(bool)
+	}{
+		{"fig3", runFig3},
+		{"toolcalls", runToolCalls},
+		{"constrained", runConstrained},
+		{"speculative", runSpeculative},
+		{"multiround", runMultiRound},
+		{"tot", runTree},
+		{"editor", runEditor},
+		{"batching", runBatching},
+		{"overhead", runOverhead},
+	} {
+		if *exp == e.name || *exp == "all" {
+			e.fn(*quick)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runFig3(quick bool) {
+	cfg := experiments.DefaultFig3()
+	if quick {
+		cfg = experiments.QuickFig3()
+	}
+	pts := experiments.RunFig3(cfg)
+	lat, thr := experiments.Fig3Tables(pts)
+	fmt.Println(lat.String())
+	fmt.Println(thr.String())
+}
+
+func runToolCalls(quick bool) {
+	cfg := experiments.DefaultToolCalls()
+	if quick {
+		cfg.Calls = []int{1, 4}
+	}
+	tab := experiments.ToolCallsTable(experiments.RunToolCalls(cfg))
+	fmt.Println(tab.String())
+}
+
+func runConstrained(quick bool) {
+	cfg := experiments.DefaultConstrained()
+	if quick {
+		cfg.Trials, cfg.Retries = 4, 8
+	}
+	tab := experiments.ConstrainedTable(experiments.RunConstrained(cfg))
+	fmt.Println(tab.String())
+}
+
+func runSpeculative(quick bool) {
+	cfg := experiments.DefaultSpeculative()
+	if quick {
+		cfg.Ks = []int{0, 4}
+	}
+	tab := experiments.SpeculativeTable(experiments.RunSpeculative(cfg))
+	fmt.Println(tab.String())
+}
+
+func runMultiRound(quick bool) {
+	cfg := experiments.DefaultMultiRound()
+	if quick {
+		cfg.Rounds = 4
+	}
+	tab := experiments.MultiRoundTable(experiments.RunMultiRound(cfg))
+	fmt.Println(tab.String())
+}
+
+func runTree(quick bool) {
+	cfg := experiments.DefaultTree()
+	if quick {
+		cfg.Branch, cfg.Depth = 2, 3
+	}
+	tab := experiments.TreeTable(experiments.RunTree(cfg))
+	fmt.Println(tab.String())
+}
+
+func runEditor(quick bool) {
+	cfg := experiments.DefaultEditor()
+	if quick {
+		cfg.Keystrokes = 40
+	}
+	tab := experiments.EditorTable(experiments.RunEditor(cfg))
+	fmt.Println(tab.String())
+}
+
+func runBatching(quick bool) {
+	cfg := experiments.DefaultBatchPolicy()
+	if quick {
+		cfg.Duration = 8 * time.Second
+	}
+	tab := experiments.BatchPolicyTable(experiments.RunBatchPolicy(cfg))
+	fmt.Println(tab.String())
+}
+
+func runOverhead(quick bool) {
+	cfg := experiments.DefaultOverhead()
+	if quick {
+		cfg.Requests = 20
+	}
+	tab := experiments.OverheadTable(experiments.RunOverhead(cfg))
+	fmt.Println(tab.String())
+}

@@ -1,0 +1,56 @@
+// Command symphonyd serves a Symphony kernel over HTTP — Figure 1
+// (bottom) as a runnable daemon. Clients ship declarative LIPs (lipscript
+// JSON) to /v1/programs; the legacy /v1/completions endpoint wraps a
+// prompt in a trivial program. The kernel runs against the simulated
+// model on a realtime-paced virtual clock, so observed latencies follow
+// the A100/13B cost model.
+//
+//	symphonyd -addr :8080 -speedup 1
+//	curl -s localhost:8080/v1/completions -d '{"prompt":"hi","max_tokens":16}'
+//	curl -s localhost:8080/v1/programs -d @examples/wire/agent.json
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/simclock"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	speedup := flag.Float64("speedup", 1, "virtual-time speedup over wall time")
+	flag.Parse()
+
+	clk := simclock.NewRealtime(*speedup)
+	target := model.New(model.Llama13B())
+	kernel := core.New(clk, core.Config{
+		Models: map[string]*model.Model{
+			"llama-13b": target,
+			"draft-1b":  model.New(model.AlignedDraft(target, 0.85)),
+		},
+		DefaultModel: "llama-13b",
+		Policy:       sched.DefaultPoisson(),
+	})
+	kernel.RegisterTool("search", core.Tool{
+		Latency: 150 * time.Millisecond,
+		Fn:      func(args string) (string, error) { return "results for " + args, nil },
+	})
+	kernel.RegisterTool("weather", core.Tool{
+		Latency: 100 * time.Millisecond,
+		Fn:      func(args string) (string, error) { return fmt.Sprintf("weather(%s)=fair", args), nil },
+	})
+
+	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time", *addr, *speedup)
+	if err := http.ListenAndServe(*addr, server.New(clk, kernel)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/token"
+)
+
+// Client is a text-completion client talking to a Server across a
+// simulated network link — the prompt-serving deployment shape whose
+// boundary-crossing costs §2.2 quantifies. Every call pays serialization
+// and propagation for the full prompt and the full response; a
+// conversational application therefore re-ships (and the server
+// re-prefills) its entire growing context each round.
+type Client struct {
+	link *netsim.Link
+	srv  Server
+	tok  *token.Tokenizer
+}
+
+// NewClient returns a client for srv over link.
+func NewClient(link *netsim.Link, srv Server, tok *token.Tokenizer) *Client {
+	return &Client{link: link, srv: srv, tok: tok}
+}
+
+// approxBytesPerToken is the average wire size of a token of text.
+const approxBytesPerToken = 4
+
+// Complete sends prompt text and returns the generated text, charging
+// network time in both directions. Call from a simclock actor.
+func (c *Client) Complete(prompt string, maxTokens int) (string, error) {
+	toks := c.tok.Encode(prompt)
+	if err := c.link.OneWay(len(prompt)); err != nil {
+		return "", err
+	}
+	resp, err := c.srv.Complete(Request{Prompt: toks, MaxTokens: maxTokens})
+	if err != nil {
+		return "", err
+	}
+	out := c.tok.Decode(resp.Tokens)
+	if err := c.link.OneWay(len(out)); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// CompleteTokens is Complete for already-tokenized prompts, charging the
+// wire at the average text size per token.
+func (c *Client) CompleteTokens(prompt []token.ID, maxTokens int) (Response, error) {
+	if err := c.link.OneWay(len(prompt) * approxBytesPerToken); err != nil {
+		return Response{}, err
+	}
+	resp, err := c.srv.Complete(Request{Prompt: prompt, MaxTokens: maxTokens})
+	if err != nil {
+		return Response{}, err
+	}
+	if err := c.link.OneWay(len(resp.Tokens) * approxBytesPerToken); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

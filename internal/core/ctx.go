@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kvfs"
+	"repro/internal/model"
+	"repro/internal/simclock"
+	"repro/internal/token"
+	"repro/internal/trace"
+)
+
+// Ctx is the per-thread system-call interface handed to a LIP. All methods
+// must be called from the thread's own goroutine (each Spawn gets its own
+// Ctx).
+type Ctx struct {
+	p   *Process
+	tid int
+
+	// tracked holds the private KV files this thread created; the kernel
+	// offloads them to host memory while the thread waits on external I/O
+	// (paper §4.3) and restores them lazily on the next Pred.
+	tracked []*kvfs.File
+}
+
+// Clock exposes the virtual clock (LIPs use it for Sleep-style pacing).
+func (c *Ctx) Clock() *simclock.Clock { return c.p.k.clk }
+
+// PID returns the calling process's ID.
+func (c *Ctx) PID() int { return c.p.pid }
+
+// User returns the process's user.
+func (c *Ctx) User() string { return c.p.user }
+
+// Kernel returns the kernel. Exposed for observability helpers; LIPs are
+// expected to use the system calls below.
+func (c *Ctx) Kernel() *Kernel { return c.p.k }
+
+// Sleep parks the thread for d of virtual time.
+func (c *Ctx) Sleep(d time.Duration) error {
+	if err := c.p.checkLive(); err != nil {
+		return err
+	}
+	return c.p.k.clk.Sleep(d)
+}
+
+// Tokenize converts text to token IDs.
+func (c *Ctx) Tokenize(s string) []token.ID { return c.p.k.tok.Encode(s) }
+
+// Detokenize converts token IDs back to text.
+func (c *Ctx) Detokenize(ids []token.ID) string { return c.p.k.tok.Decode(ids) }
+
+// Emit appends text to the process output stream.
+func (c *Ctx) Emit(s string) {
+	c.p.mu.Lock()
+	defer c.p.mu.Unlock()
+	c.p.out.WriteString(s)
+}
+
+// EmitTokens decodes and emits token IDs.
+func (c *Ctx) EmitTokens(ids []token.ID) { c.Emit(c.Detokenize(ids)) }
+
+// --- KVFS system calls (§4.2) ---
+
+func (c *Ctx) track(f *kvfs.File) *kvfs.File {
+	c.tracked = append(c.tracked, f)
+	return f
+}
+
+// KvCreate makes a new named KV file owned by the calling user.
+func (c *Ctx) KvCreate(path string, mode kvfs.Mode) (*kvfs.File, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	c.p.k.kvCalls.Inc()
+	f, err := c.p.k.fs.Create(path, c.p.user, mode)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(f), nil
+}
+
+// KvAnon makes a new anonymous scratch KV file.
+func (c *Ctx) KvAnon() (*kvfs.File, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	c.p.k.kvCalls.Inc()
+	return c.track(c.p.k.fs.CreateAnon(c.p.user)), nil
+}
+
+// KvOpen opens a named KV file with the given intent, enforcing KVFS
+// access control. Opened (shared) files are not tracked for I/O offload —
+// other programs may be using them.
+func (c *Ctx) KvOpen(path string, write bool) (*kvfs.File, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	c.p.k.kvCalls.Inc()
+	return c.p.k.fs.Open(path, c.p.user, write)
+}
+
+// KvFork clones f copy-on-write (Figure 2's kv_fork). Forking requires
+// read access: the clone carries the original's content.
+func (c *Ctx) KvFork(f *kvfs.File) (*kvfs.File, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	if err := f.CheckAccess(c.p.user, false); err != nil {
+		return nil, err
+	}
+	c.p.k.kvCalls.Inc()
+	child, err := f.Fork(c.p.user)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(child), nil
+}
+
+// KvExtract builds a new file from selected token indices of f.
+func (c *Ctx) KvExtract(f *kvfs.File, indices []int) (*kvfs.File, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	c.p.k.kvCalls.Inc()
+	child, err := f.Extract(c.p.user, indices)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(child), nil
+}
+
+// KvMerge concatenates files into a new one.
+func (c *Ctx) KvMerge(files ...*kvfs.File) (*kvfs.File, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	c.p.k.kvCalls.Inc()
+	child, err := c.p.k.fs.Merge(c.p.user, files...)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(child), nil
+}
+
+// KvLink names an anonymous file, making it durable across processes.
+func (c *Ctx) KvLink(f *kvfs.File, path string) error {
+	if err := c.p.checkLive(); err != nil {
+		return err
+	}
+	c.p.k.kvCalls.Inc()
+	return c.p.k.fs.Link(f, path, c.p.user)
+}
+
+// KvRemove deletes a named file.
+func (c *Ctx) KvRemove(path string) error {
+	if err := c.p.checkLive(); err != nil {
+		return err
+	}
+	c.p.k.kvCalls.Inc()
+	return c.p.k.fs.Remove(path, c.p.user)
+}
+
+// KvList lists named files with the given prefix.
+func (c *Ctx) KvList(prefix string) []string {
+	c.p.k.kvCalls.Inc()
+	return c.p.k.fs.List(prefix)
+}
+
+// KvWaitSpace parks the thread until some GPU KV memory is freed anywhere
+// in the system, or until maxWait elapses (liveness fallback against
+// missed wakeups). What to do on wake — retry, shed work, give up — is
+// the program's policy; the kernel only provides the signal. It returns
+// immediately if the process is cancelled.
+func (c *Ctx) KvWaitSpace(maxWait time.Duration) error {
+	if err := c.p.checkLive(); err != nil {
+		return err
+	}
+	if maxWait <= 0 {
+		maxWait = 100 * time.Millisecond
+	}
+	_, err := c.p.k.spaceEvent().WaitFor(maxWait)
+	if err != nil {
+		return err
+	}
+	return c.p.checkLive()
+}
+
+// KvLock acquires f's advisory lock, parking until it is free. The lock
+// identity is the process, so threads of one process share the lock.
+func (c *Ctx) KvLock(f *kvfs.File) error {
+	who := fmt.Sprintf("pid-%d", c.p.pid)
+	for {
+		if err := c.p.checkLive(); err != nil {
+			return err
+		}
+		err := f.TryLock(who)
+		if err == nil {
+			return nil
+		}
+		if holder := f.LockedBy(); holder == who {
+			return err // non-recursive: surface immediately
+		}
+		if err := c.p.k.clk.Sleep(time.Millisecond); err != nil {
+			return err
+		}
+	}
+}
+
+// KvUnlock releases f's advisory lock.
+func (c *Ctx) KvUnlock(f *kvfs.File) error {
+	return f.Unlock(fmt.Sprintf("pid-%d", c.p.pid))
+}
+
+// --- pred system call (§4.1) ---
+
+// Pred is the model-computation system call against the default model:
+//
+//	pred(kv, tokens, positions) -> []dist
+//
+// It appends the given tokens (at their absolute positions) to the KV
+// file, runs one batched forward pass, and returns the next-token
+// distribution observed after each input token. The calling thread parks
+// in the inference pool until the GPU step containing the call completes.
+func (c *Ctx) Pred(f *kvfs.File, toks []token.ID, positions []int) ([]model.Dist, error) {
+	return c.PredModel("", f, toks, positions)
+}
+
+// PredModel is Pred against a named model (e.g. a draft model for
+// speculative decoding).
+func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positions []int) ([]model.Dist, error) {
+	k := c.p.k
+	m, err := k.Model(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("core: pred with no tokens")
+	}
+	// pred mutates the file: enforce write access at the syscall boundary.
+	if err := f.CheckAccess(c.p.user, true); err != nil {
+		return nil, err
+	}
+	if err := c.p.chargeTokens(len(toks)); err != nil {
+		return nil, err
+	}
+	if err := k.chargeUser(c.p.user, len(toks)); err != nil {
+		return nil, err
+	}
+
+	// Restore the file if a tool wait offloaded it; the thread pays the
+	// PCIe transfer time before the pass can run.
+	if !f.GPUResident() {
+		rstart := k.clk.Now()
+		restored, rerr := f.Restore()
+		if restored > 0 {
+			d := m.Config().Cost.TransferTime(restored)
+			k.restoreTime.Add(int64(d))
+			if err := k.clk.Sleep(d); err != nil {
+				return nil, err
+			}
+			k.tracer.Span(trace.Event{
+				At: rstart, Dur: k.clk.Now() - rstart, PID: c.p.pid, TID: c.tid,
+				Kind: trace.KindRestore, Detail: fmt.Sprintf("%d tokens", restored),
+			})
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+
+	// The KV entries and their context hashes are fixed at submission;
+	// the GPU step only determines *when* the results exist.
+	tails, err := f.Append(toks, positions)
+	if err != nil {
+		return nil, err
+	}
+	k.predCalls.Inc()
+	k.predTokens.Add(int64(len(toks)))
+
+	pstart := k.clk.Now()
+	k.gauge(stateRunning, stateInferWait)
+	serr := k.sch.Submit(resolvedName(k, modelName), len(toks))
+	k.gauge(stateInferWait, stateRunning)
+	if serr != nil {
+		return nil, serr
+	}
+	k.tracer.Span(trace.Event{
+		At: pstart, Dur: k.clk.Now() - pstart, PID: c.p.pid, TID: c.tid,
+		Kind: trace.KindPred, Detail: fmt.Sprintf("%d tokens @%s", len(toks), resolvedName(k, modelName)),
+	})
+
+	dists := make([]model.Dist, len(tails))
+	for i, h := range tails {
+		dists[i] = m.Next(h)
+	}
+	return dists, nil
+}
+
+func resolvedName(k *Kernel, name string) string {
+	if name == "" {
+		return k.defMod
+	}
+	return name
+}
+
+// --- threads (§4.3) ---
+
+// Spawn starts fn as a new thread of the process. The process does not
+// exit until the thread finishes, joined or not.
+func (c *Ctx) Spawn(fn Program) (*Thread, error) {
+	if err := c.p.checkLive(); err != nil {
+		return nil, err
+	}
+	p := c.p
+	p.mu.Lock()
+	p.threadSeq++
+	tid := p.threadSeq
+	p.mu.Unlock()
+	t := &Thread{id: tid, done: p.k.clk.NewEvent()}
+	p.wg.Add(1)
+	p.k.gauge(stateDone, stateRunning)
+	p.k.clk.Go(fmt.Sprintf("lip-%d.%d", p.pid, tid), func() {
+		err := runGuarded(fn, &Ctx{p: p, tid: tid})
+		t.mu.Lock()
+		t.err = err
+		t.mu.Unlock()
+		p.k.gauge(stateRunning, stateDone)
+		t.done.Fire()
+		p.wg.Done()
+	})
+	return t, nil
+}
+
+// --- integrated external interaction (§4.3, §2.2) ---
+
+// Call invokes a kernel-registered tool server-side. The thread enters the
+// I/O wait state for the tool's latency; if the wait is long enough to be
+// worth it, the kernel offloads the thread's private KV files to host
+// memory for the duration, freeing GPU pages for other programs.
+func (c *Ctx) Call(tool string, args string) (string, error) {
+	k := c.p.k
+	if err := c.p.checkLive(); err != nil {
+		return "", err
+	}
+	k.mu.Lock()
+	t, ok := k.tools[tool]
+	k.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoTool, tool)
+	}
+	k.toolCalls.Inc()
+
+	if t.Latency >= k.offloadThreshold {
+		// Offload is asynchronous DMA overlapped with the wait; only the
+		// restore on the next Pred costs the thread time.
+		for _, f := range c.tracked {
+			if !f.Removed() {
+				f.Offload() // best effort; host pressure just keeps pages on GPU
+			}
+		}
+	}
+
+	tstart := k.clk.Now()
+	k.gauge(stateRunning, stateIOWait)
+	err := k.clk.Sleep(t.Latency)
+	k.gauge(stateIOWait, stateRunning)
+	if err != nil {
+		return "", err
+	}
+	k.tracer.Span(trace.Event{
+		At: tstart, Dur: k.clk.Now() - tstart, PID: c.p.pid, TID: c.tid,
+		Kind: trace.KindTool, Detail: tool,
+	})
+	if t.Fn == nil {
+		return "", nil
+	}
+	return t.Fn(args)
+}
+
+// --- IPC ---
+
+// Send delivers a message to another process's mailbox.
+func (c *Ctx) Send(pid int, payload string) error {
+	if err := c.p.checkLive(); err != nil {
+		return err
+	}
+	target, err := c.p.k.Process(pid)
+	if err != nil {
+		return err
+	}
+	c.p.k.ipcMessages.Inc()
+	target.mailbox.Put(Message{From: c.p.pid, Payload: payload})
+	return nil
+}
+
+// Recv parks until a message arrives in this process's mailbox.
+func (c *Ctx) Recv() (Message, error) {
+	if err := c.p.checkLive(); err != nil {
+		return Message{}, err
+	}
+	return c.p.mailbox.Get()
+}
+
+// TryRecv returns a queued message without blocking.
+func (c *Ctx) TryRecv() (Message, bool) {
+	return c.p.mailbox.TryGet()
+}

@@ -1,0 +1,339 @@
+// Package core implements the Symphony kernel: an operating system for LLM
+// Inference Programs (paper §4).
+//
+// Symphony's unit of service is a program, not a prompt. A user submits a
+// LIP — here a Go closure receiving a *Ctx — and the kernel runs it as a
+// process with OS-style facilities:
+//
+//   - Pred: the model-computation system call (§4.1). One call is one
+//     forward pass over new tokens against a KV file; the calling thread
+//     parks in the inference pool while the batch scheduler (internal/sched)
+//     aggregates concurrent calls into GPU steps.
+//   - KVFS syscalls (§4.2): create/open/fork/extract/merge/lock KV-cache
+//     files with persistence, sharing, and access control.
+//   - Threads (§4.3): LIPs spawn threads for parallel generation; threads
+//     of one process share its KV files and accounting.
+//   - Integrated external interaction (§4.3): tools registered with the
+//     kernel execute server-side; while a thread waits on tool I/O the
+//     kernel offloads its private KV pages to host memory and restores
+//     them lazily at the next Pred.
+//   - IPC: processes exchange messages through kernel mailboxes, the
+//     substrate for cooperative multi-agent programs.
+//
+// Sandboxing (WASM/seccomp) is out of scope (paper §6); resource
+// accounting — per-process token budgets and syscall counters — is not.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kvfs"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/token"
+	"repro/internal/trace"
+)
+
+// Errors returned by kernel system calls.
+var (
+	ErrNoModel   = errors.New("core: unknown model")
+	ErrNoTool    = errors.New("core: unknown tool")
+	ErrNoProcess = errors.New("core: no such process")
+	ErrBudget    = errors.New("core: token budget exhausted")
+	ErrCancelled = errors.New("core: process cancelled")
+)
+
+// Tool is an external interaction registered with the kernel and executed
+// server-side on behalf of LIPs (§2.2: weather APIs, code snippets, ...).
+type Tool struct {
+	// Latency is the simulated external I/O time per invocation.
+	Latency time.Duration
+	// Fn computes the result. It runs at the end of the latency window.
+	Fn func(args string) (string, error)
+}
+
+// Config assembles a kernel.
+type Config struct {
+	// Models maps model names to simulated models. DefaultModel names the
+	// one Pred uses; empty means the sole entry.
+	Models       map[string]*model.Model
+	DefaultModel string
+	// FS sizes the KV file system. Zero value means kvfs.DefaultConfig
+	// with the default model's KV footprint.
+	FS kvfs.Config
+	// Policy is the batch scheduler policy; nil means sched.DefaultPoisson.
+	Policy sched.Policy
+	// OffloadThreshold is the minimum tool latency for which the kernel
+	// bothers offloading a waiting thread's KV pages (default 50ms).
+	OffloadThreshold time.Duration
+	// Tokenizer, when non-nil, is shared with other systems so that token
+	// IDs agree across a comparative experiment. Nil creates a fresh one.
+	Tokenizer *token.Tokenizer
+	// Tracer, when non-nil, records every process, pred, tool, and KV
+	// migration span on the virtual timeline (§6's evaluation-space
+	// instrumentation). Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
+	// UserQuotas caps the total pred tokens each named user may consume
+	// across all of their processes (multi-tenant resource accounting,
+	// §6). Users absent from the map are unlimited.
+	UserQuotas map[string]int64
+}
+
+// Kernel is a Symphony instance.
+type Kernel struct {
+	clk    *simclock.Clock
+	models map[string]*model.Model
+	defMod string
+	fs     *kvfs.FS
+	sch    *sched.Scheduler
+	tok    *token.Tokenizer
+
+	offloadThreshold time.Duration
+
+	tracer *trace.Tracer
+
+	mu        sync.Mutex
+	tools     map[string]Tool
+	procs     map[int]*Process
+	nextPID   int
+	quotas    map[string]int64
+	userUsage map[string]int64
+
+	spaceMu sync.Mutex
+	spaceEv *simclock.Event // fired+replaced whenever KVFS frees GPU pages
+
+	// syscall and accounting counters
+	predCalls    metrics.Counter
+	predTokens   metrics.Counter
+	kvCalls      metrics.Counter
+	toolCalls    metrics.Counter
+	ipcMessages  metrics.Counter
+	procsStarted metrics.Counter
+	restoreTime  metrics.Counter // nanoseconds spent restoring offloaded KV
+
+	// thread-state gauges (the upper scheduling level's view)
+	gaugeMu    sync.Mutex
+	running    int
+	inferWait  int
+	ioWait     int
+	peakThread int
+}
+
+// New assembles and starts a kernel on clk.
+func New(clk *simclock.Clock, cfg Config) *Kernel {
+	if len(cfg.Models) == 0 {
+		panic("core: no models configured")
+	}
+	def := cfg.DefaultModel
+	if def == "" {
+		if len(cfg.Models) != 1 {
+			panic("core: DefaultModel required with multiple models")
+		}
+		for name := range cfg.Models {
+			def = name
+		}
+	}
+	if _, ok := cfg.Models[def]; !ok {
+		panic("core: default model not in Models")
+	}
+	fsCfg := cfg.FS
+	if fsCfg == (kvfs.Config{}) {
+		fsCfg = kvfs.DefaultConfig()
+		fsCfg.BytesPerToken = cfg.Models[def].Config().Cost.KVBytesPerToken
+	}
+	costs := make(map[string]model.CostModel, len(cfg.Models))
+	for name, m := range cfg.Models {
+		costs[name] = m.Config().Cost
+	}
+	thr := cfg.OffloadThreshold
+	if thr == 0 {
+		thr = 50 * time.Millisecond
+	}
+	tok := cfg.Tokenizer
+	if tok == nil {
+		tok = token.NewTokenizer(token.NewVocab())
+	}
+	k := &Kernel{
+		clk:              clk,
+		models:           cfg.Models,
+		defMod:           def,
+		fs:               kvfs.NewFS(fsCfg),
+		sch:              sched.New(clk, sched.Config{Models: costs, Policy: cfg.Policy}),
+		tok:              tok,
+		offloadThreshold: thr,
+		tracer:           cfg.Tracer,
+		tools:            make(map[string]Tool),
+		procs:            make(map[int]*Process),
+		quotas:           cfg.UserQuotas,
+		userUsage:        make(map[string]int64),
+	}
+	k.spaceEv = clk.NewEvent()
+	k.fs.SetReleaseHook(k.kvReleased)
+	return k
+}
+
+// kvReleased broadcasts that GPU KV pages were freed: the current space
+// event fires (waking every Ctx.KvWaitSpace) and a fresh one takes its
+// place for future waiters.
+func (k *Kernel) kvReleased() {
+	k.spaceMu.Lock()
+	ev := k.spaceEv
+	k.spaceEv = k.clk.NewEvent()
+	k.spaceMu.Unlock()
+	ev.Fire()
+}
+
+// spaceEvent returns the event the next KvWaitSpace should park on.
+func (k *Kernel) spaceEvent() *simclock.Event {
+	k.spaceMu.Lock()
+	defer k.spaceMu.Unlock()
+	return k.spaceEv
+}
+
+// chargeUser enforces the user's aggregate token quota.
+func (k *Kernel) chargeUser(user string, n int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if q, ok := k.quotas[user]; ok {
+		if k.userUsage[user]+int64(n) > q {
+			return fmt.Errorf("%w: user %s over quota %d", ErrBudget, user, q)
+		}
+	}
+	k.userUsage[user] += int64(n)
+	return nil
+}
+
+// UserUsage reports the total pred tokens charged to user so far.
+func (k *Kernel) UserUsage(user string) int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.userUsage[user]
+}
+
+// Clock returns the kernel's clock.
+func (k *Kernel) Clock() *simclock.Clock { return k.clk }
+
+// FS returns the KV file system (admin-side access; LIPs use Ctx).
+func (k *Kernel) FS() *kvfs.FS { return k.fs }
+
+// Scheduler returns the batch inference scheduler, for observability.
+func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
+
+// Model returns the named model, or the default one for name "".
+func (k *Kernel) Model(name string) (*model.Model, error) {
+	if name == "" {
+		name = k.defMod
+	}
+	m, ok := k.models[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoModel, name)
+	}
+	return m, nil
+}
+
+// DefaultModelName returns the name Pred resolves "" to.
+func (k *Kernel) DefaultModelName() string { return k.defMod }
+
+// RegisterTool makes a tool callable from LIPs.
+func (k *Kernel) RegisterTool(name string, t Tool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.tools[name] = t
+}
+
+// Process looks up a live process by pid.
+func (k *Kernel) Process(pid int) (*Process, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProcess, pid)
+	}
+	return p, nil
+}
+
+// Stats is a snapshot of kernel counters.
+type Stats struct {
+	Processes   int64
+	PredCalls   int64
+	PredTokens  int64
+	KVCalls     int64
+	ToolCalls   int64
+	IPCMessages int64
+	RestoreTime time.Duration
+	Sched       sched.Stats
+	FS          kvfs.Stats
+}
+
+// Stats returns a snapshot of counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		Processes:   k.procsStarted.Value(),
+		PredCalls:   k.predCalls.Value(),
+		PredTokens:  k.predTokens.Value(),
+		KVCalls:     k.kvCalls.Value(),
+		ToolCalls:   k.toolCalls.Value(),
+		IPCMessages: k.ipcMessages.Value(),
+		RestoreTime: time.Duration(k.restoreTime.Value()),
+		Sched:       k.sch.Stats(),
+		FS:          k.fs.Stats(),
+	}
+}
+
+// ThreadGauges reports the instantaneous two-level scheduler view: threads
+// running LIP code, threads parked in the inference pool, and threads
+// waiting on external I/O.
+func (k *Kernel) ThreadGauges() (running, inferWait, ioWait, peak int) {
+	k.gaugeMu.Lock()
+	defer k.gaugeMu.Unlock()
+	return k.running, k.inferWait, k.ioWait, k.peakThread
+}
+
+type threadState int
+
+const (
+	stateRunning threadState = iota
+	stateInferWait
+	stateIOWait
+	stateDone
+)
+
+func (k *Kernel) gauge(from, to threadState) {
+	k.gaugeMu.Lock()
+	defer k.gaugeMu.Unlock()
+	dec := func(s threadState) {
+		switch s {
+		case stateRunning:
+			k.running--
+		case stateInferWait:
+			k.inferWait--
+		case stateIOWait:
+			k.ioWait--
+		}
+	}
+	inc := func(s threadState) {
+		switch s {
+		case stateRunning:
+			k.running++
+		case stateInferWait:
+			k.inferWait++
+		case stateIOWait:
+			k.ioWait++
+		}
+	}
+	dec(from)
+	inc(to)
+	if t := k.running + k.inferWait + k.ioWait; t > k.peakThread {
+		k.peakThread = t
+	}
+}
+
+// Tokenizer returns the kernel's tokenizer. Token IDs are universal across
+// the kernel's programs; experiments that compare several serving systems
+// on one trace pass the same Tokenizer to all of them via Config.
+func (k *Kernel) Tokenizer() *token.Tokenizer { return k.tok }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig3SmokeSkewed runs one skewed, moderate-load cell across all three
+// systems and checks the paper's headline ordering: with popularity
+// concentrated on few topics, Symphony's app-pinned cache beats the
+// prompt-serving baselines, and TGI (no cache) is worst.
+func TestFig3SmokeSkewed(t *testing.T) {
+	cfg := DefaultFig3()
+	cfg.Rates = []float64{4}
+	cfg.ParetoIndices = []float64{0.3}
+	cfg.Duration = 8 * time.Second
+	pts := RunFig3(cfg)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byName := map[string]Fig3Point{}
+	for _, p := range pts {
+		byName[p.System] = p
+		if p.Failed > 0 {
+			t.Errorf("%s failed %d requests", p.System, p.Failed)
+		}
+		if p.Requests < 20 || p.LatPerTok <= 0 || p.Throughput <= 0 {
+			t.Errorf("degenerate point: %+v", p)
+		}
+	}
+	sym, vllm, tgi := byName[SystemSymphony], byName[SystemVLLM], byName[SystemTGI]
+	if sym.LatPerTok >= tgi.LatPerTok {
+		t.Errorf("symphony (%v) not faster than tgi (%v) at pareto 0.3", sym.LatPerTok, tgi.LatPerTok)
+	}
+	if sym.CacheHit < 0.5 {
+		t.Errorf("symphony hit rate = %.2f, want high at pareto 0.3", sym.CacheHit)
+	}
+	if vllm.CacheHit <= 0 {
+		t.Errorf("vllm cache inert")
+	}
+	lat, thr := Fig3Tables(pts)
+	if len(lat.Rows) != 3 || len(thr.Rows) != 3 {
+		t.Fatalf("table rows: %d, %d", len(lat.Rows), len(thr.Rows))
+	}
+	t.Logf("\n%s\n%s", lat.String(), thr.String())
+}
+
+// TestFig3MildSkewConverges checks the other end of the paper's story: at
+// a large Pareto index the three systems land within a modest factor.
+func TestFig3MildSkewConverges(t *testing.T) {
+	cfg := DefaultFig3()
+	cfg.Rates = []float64{1}
+	cfg.ParetoIndices = []float64{2.0}
+	cfg.Duration = 8 * time.Second
+	pts := RunFig3(cfg)
+	var sym, tgi Fig3Point
+	for _, p := range pts {
+		if p.Failed > 0 {
+			t.Errorf("%s failed %d", p.System, p.Failed)
+		}
+		switch p.System {
+		case SystemSymphony:
+			sym = p
+		case SystemTGI:
+			tgi = p
+		}
+	}
+	ratio := float64(tgi.LatPerTok) / float64(sym.LatPerTok)
+	if ratio > 4 {
+		t.Errorf("at pareto 2.0 / 1 req/s the gap should be modest, got %.1fx", ratio)
+	}
+	if sym.LatPerTok > tgi.LatPerTok*3 {
+		t.Errorf("symphony pathologically slow at mild skew: %v vs %v", sym.LatPerTok, tgi.LatPerTok)
+	}
+}

@@ -1,0 +1,135 @@
+package lip
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/token"
+)
+
+// Constraint is the interface constrained decoding plugs into Generate.
+// internal/grammar provides regex-DFA and JSON implementations; any user
+// type works — the generation loop lives in the program, not the server
+// (paper §2.3).
+type Constraint interface {
+	// Allowed returns the token set permitted in the current state. A nil
+	// slice means unconstrained.
+	Allowed() []token.ID
+	// Accept advances the constraint by the chosen token.
+	Accept(tok token.ID) error
+	// Done reports whether the constraint permits stopping here.
+	Done() bool
+}
+
+// ErrConstraintStuck indicates the constraint permitted no token.
+var ErrConstraintStuck = errors.New("lip: constraint permits no token")
+
+// GenOptions configure Generate.
+type GenOptions struct {
+	// MaxTokens bounds the generation length (required, > 0).
+	MaxTokens int
+	// MinTokens defers constraint-completion stops until at least this
+	// many tokens exist (e.g. forcing a JSON object to gain members before
+	// it may close). EOS still stops generation unconditionally.
+	MinTokens int
+	// Sampler draws tokens; nil means greedy.
+	Sampler *Sampler
+	// Constraint, when non-nil, masks every distribution.
+	Constraint Constraint
+	// Transform, when non-nil, rewrites each distribution before sampling,
+	// given the previously committed token (token.PAD at the start). This
+	// is the hook for policy-based generation (§2.3): watermarking,
+	// cascades, certified sampling — arbitrary user strategies over the
+	// full distribution.
+	Transform func(d model.Dist, prev token.ID) model.Dist
+	// Stop halts generation after tok was produced; EOS always stops.
+	Stop func(tok token.ID) bool
+	// Stream receives each token as it is committed (e.g. ctx.EmitTokens).
+	Stream func(tok token.ID)
+}
+
+// GenResult reports a finished generation.
+type GenResult struct {
+	Tokens []token.ID
+	HitEOS bool
+	// ConstraintDone reports whether the constraint reached an accepting
+	// state (always true when no constraint was set and EOS was hit).
+	ConstraintDone bool
+}
+
+// Text decodes the generated tokens with the session's tokenizer context.
+func (r GenResult) Text(s *Session) string { return s.ctx.Detokenize(r.Tokens) }
+
+// Generate runs the standard autoregressive loop of the paper's Figure 2
+// against a prefilled session: sample from the pending distribution,
+// commit the token with a one-token pred, repeat until EOS, a stop
+// condition, the constraint completes, or MaxTokens.
+func Generate(s *Session, opts GenOptions) (GenResult, error) {
+	if opts.MaxTokens <= 0 {
+		return GenResult{}, fmt.Errorf("lip: MaxTokens must be positive")
+	}
+	if !s.ready {
+		return GenResult{}, ErrNoDist
+	}
+	sampler := opts.Sampler
+	if sampler == nil {
+		sampler = &Sampler{} // greedy
+	}
+	var res GenResult
+	prev := token.PAD
+	for len(res.Tokens) < opts.MaxTokens {
+		d := s.last
+		if opts.Transform != nil {
+			d = opts.Transform(d, prev)
+		}
+		if opts.Constraint != nil {
+			if allowed := opts.Constraint.Allowed(); allowed != nil {
+				d = d.Mask(allowed)
+				if len(d.Candidates()) == 0 {
+					return res, ErrConstraintStuck
+				}
+			}
+		}
+		tok := sampler.Sample(d)
+		if tok == token.EOS {
+			res.HitEOS = true
+			break
+		}
+		if opts.Constraint != nil {
+			if err := opts.Constraint.Accept(tok); err != nil {
+				return res, err
+			}
+		}
+		res.Tokens = append(res.Tokens, tok)
+		prev = tok
+		if opts.Stream != nil {
+			opts.Stream(tok)
+		}
+		if opts.Constraint != nil && opts.Constraint.Done() && len(res.Tokens) >= opts.MinTokens {
+			res.ConstraintDone = true
+			break
+		}
+		if opts.Stop != nil && opts.Stop(tok) {
+			break
+		}
+		if _, err := s.Step(tok); err != nil {
+			return res, err
+		}
+	}
+	if opts.Constraint == nil {
+		res.ConstraintDone = res.HitEOS || len(res.Tokens) == opts.MaxTokens
+	} else if !res.ConstraintDone {
+		res.ConstraintDone = opts.Constraint.Done()
+	}
+	return res, nil
+}
+
+// Complete is the one-call convenience: prefill prompt into a fresh
+// session over kv and generate up to maxTokens greedily.
+func Complete(s *Session, prompt string, maxTokens int) (GenResult, error) {
+	if _, err := s.Prefill(prompt); err != nil {
+		return GenResult{}, err
+	}
+	return Generate(s, GenOptions{MaxTokens: maxTokens})
+}

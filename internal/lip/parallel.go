@@ -1,0 +1,218 @@
+package lip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// Branch is one parallel generation outcome.
+type Branch struct {
+	Index  int
+	Result GenResult
+	Err    error
+	// Score is the cumulative log-probability of the branch under its own
+	// sampling distribution, usable for ranking hypotheses.
+	Score float64
+}
+
+// ParallelGenerate implements the paper's Figure 2 as a library call: fork
+// the base session's KV prefix once per suffix, spawn one thread per
+// branch, generate concurrently, and join. Branch i prefills suffixes[i]
+// (which may be empty) and then generates under opts, with the sampler
+// seed offset by the branch index so branches decorrelate.
+//
+// Concurrent branches issue concurrent pred calls, which the batch
+// inference scheduler coalesces into shared GPU steps — the efficiency
+// the paper's two-level scheduling is designed around.
+func ParallelGenerate(base *Session, suffixes []string, opts GenOptions) ([]Branch, error) {
+	if !base.ready && anyEmpty(suffixes) {
+		return nil, ErrNoDist
+	}
+	branches := make([]Branch, len(suffixes))
+	var mu sync.Mutex
+	threads := make([]*core.Thread, len(suffixes))
+	for i, suffix := range suffixes {
+		i, suffix := i, suffix
+		th, err := base.ctx.Spawn(func(tc *core.Ctx) error {
+			s, err := base.forkInto(tc)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			if suffix != "" {
+				if _, err := s.Prefill(suffix); err != nil {
+					return err
+				}
+			}
+			o := opts
+			if opts.Sampler != nil {
+				sp := *opts.Sampler
+				sp.Seed = sp.Seed*1_000_003 + uint64(i+1)
+				o.Sampler = &sp
+			}
+			var score float64
+			stream := o.Stream
+			o.Stream = func(tok token.ID) {
+				score += LogProb(s.last, tok)
+				if stream != nil {
+					stream(tok)
+				}
+			}
+			res, err := Generate(s, o)
+			mu.Lock()
+			branches[i] = Branch{Index: i, Result: res, Err: err, Score: score}
+			mu.Unlock()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		threads[i] = th
+	}
+	for i, th := range threads {
+		if err := th.Join(); err != nil && branches[i].Err == nil {
+			branches[i].Err = err
+		}
+	}
+	return branches, nil
+}
+
+func anyEmpty(suffixes []string) bool {
+	for _, s := range suffixes {
+		if s == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Best returns the successful branch with the highest score.
+func Best(branches []Branch) (Branch, error) {
+	best := -1
+	for i, b := range branches {
+		if b.Err != nil {
+			continue
+		}
+		if best < 0 || b.Score > branches[best].Score {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Branch{}, fmt.Errorf("lip: no successful branch")
+	}
+	return branches[best], nil
+}
+
+// beam is one live hypothesis during beam search.
+type beam struct {
+	s     *Session
+	toks  []token.ID
+	score float64
+	done  bool
+}
+
+// BeamSearch decodes width hypotheses breadth-first for up to maxTokens
+// steps, keeping the globally best-scoring beams at each step. It leans on
+// KvFork for cheap hypothesis branching — each expansion forks the parent
+// beam's KV file instead of recomputing the prefix.
+func BeamSearch(base *Session, width, maxTokens int) ([]token.ID, float64, error) {
+	if width <= 0 || maxTokens <= 0 {
+		return nil, 0, fmt.Errorf("lip: width and maxTokens must be positive")
+	}
+	if !base.ready {
+		return nil, 0, ErrNoDist
+	}
+	root, err := base.Fork()
+	if err != nil {
+		return nil, 0, err
+	}
+	beams := []*beam{{s: root}}
+	defer func() {
+		for _, b := range beams {
+			if b.s != nil {
+				b.s.Close()
+			}
+		}
+	}()
+
+	for step := 0; step < maxTokens; step++ {
+		type cand struct {
+			parent *beam
+			tok    token.ID
+			score  float64
+			eos    bool
+		}
+		var cands []cand
+		live := 0
+		for _, b := range beams {
+			if b.done {
+				cands = append(cands, cand{parent: b, score: b.score, eos: true})
+				continue
+			}
+			live++
+			top := b.s.last.Candidates()
+			n := width
+			if n > len(top) {
+				n = len(top)
+			}
+			for _, tp := range top[:n] {
+				c := cand{parent: b, tok: tp.Token, score: b.score + LogProb(b.s.last, tp.Token)}
+				c.eos = tp.Token == token.EOS
+				cands = append(cands, c)
+			}
+		}
+		if live == 0 {
+			break
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+		if len(cands) > width {
+			cands = cands[:width]
+		}
+
+		var next []*beam
+		used := make(map[*beam]bool)
+		for _, c := range cands {
+			if c.eos {
+				// Finished hypotheses drop their KV: nothing more to decode.
+				next = append(next, &beam{toks: c.parent.toks, score: c.score, done: true})
+				continue
+			}
+			// The first candidate extending a parent adopts its session;
+			// siblings fork it copy-on-write.
+			var s *Session
+			if !used[c.parent] && c.parent.s != nil {
+				used[c.parent] = true
+				s = c.parent.s
+			} else {
+				s, err = c.parent.s.Fork()
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+			if _, err := s.Step(c.tok); err != nil {
+				return nil, 0, err
+			}
+			nb := &beam{s: s, toks: append(append([]token.ID(nil), c.parent.toks...), c.tok), score: c.score}
+			next = append(next, nb)
+		}
+		// Close sessions no surviving beam adopted.
+		for _, b := range beams {
+			if b.s != nil && !used[b] {
+				b.s.Close()
+			}
+		}
+		beams = next
+	}
+
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if b.score > best.score {
+			best = b
+		}
+	}
+	return best.toks, best.score, nil
+}

@@ -1,0 +1,98 @@
+package lip
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/token"
+)
+
+// PruneContext shrinks a session's context to its first keepHead tokens
+// (the "attention sink" prefix) plus its last keepTail tokens, reusing the
+// surviving KV tensors via KvExtract — the runtime context pruning of
+// paper §4.2 (StreamingLLM-style). The session's KV file is replaced by
+// the pruned one and the old file is removed; the resulting context is
+// approximate (see kvfs.Entry), exactly as with real KV reuse under a
+// changed attention pattern.
+//
+// The pending distribution is invalidated; callers re-prime it with the
+// next Prefill or Step. PruneContext is a no-op when the context already
+// fits.
+func PruneContext(s *Session, keepHead, keepTail int) error {
+	if keepHead < 0 || keepTail < 0 {
+		return fmt.Errorf("lip: negative prune bounds")
+	}
+	n := s.kv.Len()
+	if n <= keepHead+keepTail {
+		return nil
+	}
+	indices := make([]int, 0, keepHead+keepTail)
+	for i := 0; i < keepHead; i++ {
+		indices = append(indices, i)
+	}
+	for i := n - keepTail; i < n; i++ {
+		indices = append(indices, i)
+	}
+	pruned, err := s.ctx.KvExtract(s.kv, indices)
+	if err != nil {
+		return err
+	}
+	old := s.kv
+	s.kv = pruned
+	s.ready = false
+	return old.Remove()
+}
+
+// StreamingGenerate decodes up to maxTokens while keeping the KV context
+// bounded: whenever the file exceeds window tokens it is pruned back to
+// keepHead sinks plus the most recent window/2 tokens before the next
+// token is committed. This lets a LIP generate indefinitely in constant KV
+// memory — a strategy no prompt API exposes, and precisely the kind of
+// application-specific optimization §4.2 argues for.
+func StreamingGenerate(s *Session, opts GenOptions, window, keepHead int) (GenResult, error) {
+	if opts.MaxTokens <= 0 {
+		return GenResult{}, fmt.Errorf("lip: MaxTokens must be positive")
+	}
+	if window <= keepHead+2 {
+		return GenResult{}, fmt.Errorf("lip: window must exceed keepHead+2")
+	}
+	if !s.ready {
+		return GenResult{}, ErrNoDist
+	}
+	sampler := opts.Sampler
+	if sampler == nil {
+		sampler = &Sampler{}
+	}
+	sample := func(d model.Dist, prev token.ID) token.ID {
+		if opts.Transform != nil {
+			d = opts.Transform(d, prev)
+		}
+		return sampler.Sample(d)
+	}
+	var res GenResult
+	cur := sample(s.last, token.PAD)
+	for len(res.Tokens) < opts.MaxTokens {
+		if cur == token.EOS {
+			res.HitEOS = true
+			break
+		}
+		res.Tokens = append(res.Tokens, cur)
+		if opts.Stream != nil {
+			opts.Stream(cur)
+		}
+		// Keep the context bounded before committing the next token. The
+		// token is then appended under the pruned (approximate) context,
+		// which is what a real pruning system computes too.
+		if s.kv.Len() >= window {
+			if err := PruneContext(s, keepHead, window/2); err != nil {
+				return res, err
+			}
+		}
+		d, err := s.Step(cur)
+		if err != nil {
+			return res, err
+		}
+		cur = sample(d, cur)
+	}
+	return res, nil
+}

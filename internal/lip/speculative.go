@@ -1,0 +1,156 @@
+package lip
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// SpecOptions configure speculative decoding.
+type SpecOptions struct {
+	// DraftModel names the kernel-registered draft model.
+	DraftModel string
+	// K is the number of tokens drafted per round.
+	K int
+	// MaxTokens bounds the total generated tokens.
+	MaxTokens int
+}
+
+// SpecResult reports a speculative generation.
+type SpecResult struct {
+	Tokens []token.ID
+	// Rounds is the number of draft/verify iterations.
+	Rounds int
+	// Drafted and Accepted count proposed draft tokens and how many the
+	// target verified; Accepted/Drafted is the acceptance rate.
+	Drafted  int
+	Accepted int
+	// TargetSteps counts pred calls against the target model (the paper's
+	// §4.1: verification inspects the distributions of a multi-token pred).
+	TargetSteps int
+}
+
+// AcceptanceRate returns Accepted/Drafted.
+func (r SpecResult) AcceptanceRate() float64 {
+	if r.Drafted == 0 {
+		return 0
+	}
+	return float64(r.Accepted) / float64(r.Drafted)
+}
+
+// SpeculativeGenerate implements greedy speculative decoding as a LIP, the
+// way §4.1 sketches: the draft model proposes K tokens with cheap pred
+// calls, then a single target pred over all K proposals verifies them by
+// inspecting the returned distributions. Accepted prefixes cost one target
+// step instead of one per token; the first rejected position is repaired
+// with the target's own choice and the draft context is rolled back via
+// Truncate — KV-file surgery no prompt-serving API can express.
+//
+// target must be a prefilled session on the target model; draft must be a
+// session on the draft model whose KV holds the same token content.
+func SpeculativeGenerate(target, draft *Session, opts SpecOptions) (SpecResult, error) {
+	if opts.K <= 0 || opts.MaxTokens <= 0 {
+		return SpecResult{}, fmt.Errorf("lip: speculative K and MaxTokens must be positive")
+	}
+	if !target.ready || !draft.ready {
+		return SpecResult{}, ErrNoDist
+	}
+	var res SpecResult
+	for len(res.Tokens) < opts.MaxTokens {
+		res.Rounds++
+		// Draft phase: propose up to K greedy tokens with the cheap model.
+		var proposal []token.ID
+		dDist := draft.last
+		for i := 0; i < opts.K; i++ {
+			t := dDist.Greedy()
+			if t == token.EOS {
+				break
+			}
+			proposal = append(proposal, t)
+			var err error
+			dDist, err = draft.Step(t)
+			if err != nil {
+				return res, err
+			}
+		}
+		if len(proposal) == 0 {
+			// Draft wants to stop; let the target decide the next token.
+			t := target.last.Greedy()
+			if t == token.EOS {
+				break
+			}
+			res.Tokens = append(res.Tokens, t)
+			if _, err := target.Step(t); err != nil {
+				return res, err
+			}
+			res.TargetSteps++
+			if _, err := draft.Step(t); err != nil {
+				return res, err
+			}
+			continue
+		}
+		res.Drafted += len(proposal)
+
+		// Verify phase: one target pred over the whole proposal. The
+		// distribution *before* proposal[i] is target.last for i==0 and
+		// dists[i-1] afterwards; proposal[i] is accepted if it matches
+		// the target's greedy choice there.
+		base := target.kv.Len()
+		pos := make([]int, len(proposal))
+		for i := range pos {
+			pos[i] = base + i
+		}
+		prev := target.last
+		dists, err := target.ctx.PredModel(target.model, target.kv, proposal, pos)
+		if err != nil {
+			return res, err
+		}
+		res.TargetSteps++
+
+		accepted := 0
+		for i, p := range proposal {
+			if prev.Greedy() != p {
+				break
+			}
+			accepted++
+			prev = dists[i]
+		}
+		res.Accepted += accepted
+		res.Tokens = append(res.Tokens, proposal[:accepted]...)
+
+		if accepted < len(proposal) {
+			// Roll the target KV back to the accepted prefix, then commit
+			// the target's own choice at the first divergence.
+			if err := target.kv.Truncate(base + accepted); err != nil {
+				return res, err
+			}
+			correction := prev.Greedy()
+			// Roll the draft back to match the target context.
+			if err := draft.Rollback(draft.kv.Len() - (len(proposal) - accepted)); err != nil {
+				return res, err
+			}
+			if correction == token.EOS {
+				target.last = prev
+				target.ready = true
+				break
+			}
+			res.Tokens = append(res.Tokens, correction)
+			if _, err := target.Step(correction); err != nil {
+				return res, err
+			}
+			res.TargetSteps++
+			if _, err := draft.Step(correction); err != nil {
+				return res, err
+			}
+		} else {
+			// Whole proposal accepted; target.last becomes the last dist.
+			target.last = dists[len(dists)-1]
+			target.ready = true
+		}
+		if len(res.Tokens) >= opts.MaxTokens {
+			res.Tokens = res.Tokens[:opts.MaxTokens]
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package lip
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VoteResult reports a self-consistency election.
+type VoteResult struct {
+	// Answer is the winning extracted answer.
+	Answer string
+	// Votes maps each distinct answer to its count.
+	Votes map[string]int
+	// Branches is the number of successful samples.
+	Branches int
+}
+
+// SelfConsistency implements Wang-style self-consistency as a LIP library
+// call: sample n reasoning paths in parallel from the shared prefix
+// (copy-on-write forks, batched pred), extract an answer from each with
+// the caller's function, and majority-vote. Ties break toward the answer
+// whose first supporting branch scored highest.
+func SelfConsistency(base *Session, n int, opts GenOptions, extract func(text string) string) (VoteResult, error) {
+	if n <= 0 {
+		return VoteResult{}, fmt.Errorf("lip: need at least one branch")
+	}
+	if extract == nil {
+		extract = func(s string) string { return s }
+	}
+	suffixes := make([]string, n)
+	branches, err := ParallelGenerate(base, suffixes, opts)
+	if err != nil {
+		return VoteResult{}, err
+	}
+	res := VoteResult{Votes: map[string]int{}}
+	bestScore := map[string]float64{}
+	for _, b := range branches {
+		if b.Err != nil {
+			continue
+		}
+		res.Branches++
+		ans := extract(base.ctx.Detokenize(b.Result.Tokens))
+		res.Votes[ans]++
+		if cur, ok := bestScore[ans]; !ok || b.Score > cur {
+			bestScore[ans] = b.Score
+		}
+	}
+	if res.Branches == 0 {
+		return res, fmt.Errorf("lip: every branch failed")
+	}
+	answers := make([]string, 0, len(res.Votes))
+	for a := range res.Votes {
+		answers = append(answers, a)
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		vi, vj := res.Votes[answers[i]], res.Votes[answers[j]]
+		if vi != vj {
+			return vi > vj
+		}
+		return bestScore[answers[i]] > bestScore[answers[j]]
+	})
+	res.Answer = answers[0]
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package lip
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/token"
+)
+
+// Watermark implements Kirchenbauer-style soft watermarking as user code —
+// the paper's §2.3 example of a policy-based generation technique that a
+// prompt API cannot express but a LIP with distribution access writes in a
+// few lines. Each step, the previous token seeds a pseudo-random "green
+// list" covering gamma of the vocabulary; green candidates get their
+// probability multiplied by e^delta. Text generated this way carries a
+// statistical signature that Detect recovers without the model.
+type Watermark struct {
+	// Key is the secret partitioning key.
+	Key uint64
+	// Gamma is the green-list fraction of the vocabulary (0 < Gamma < 1).
+	Gamma float64
+	// Delta is the log-probability boost applied to green tokens.
+	Delta float64
+}
+
+// Green reports whether tok is on the green list seeded by prev.
+func (w Watermark) Green(prev, tok token.ID) bool {
+	x := w.Key ^ uint64(uint32(prev))<<32 ^ uint64(uint32(tok))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x%1_000_000) < w.Gamma*1_000_000
+}
+
+// Transform returns the GenOptions.Transform implementing the watermark.
+func (w Watermark) Transform() func(d model.Dist, prev token.ID) model.Dist {
+	boost := math.Exp(w.Delta)
+	return func(d model.Dist, prev token.ID) model.Dist {
+		cands := d.Candidates()
+		out := make([]model.TokenProb, len(cands))
+		var sum float64
+		for i, c := range cands {
+			p := c.Prob
+			if c.Token != token.EOS && w.Green(prev, c.Token) {
+				p *= boost
+			}
+			out[i] = model.TokenProb{Token: c.Token, Prob: p}
+			sum += p
+		}
+		if sum == 0 {
+			return d
+		}
+		for i := range out {
+			out[i].Prob /= sum
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Prob != out[j].Prob {
+				return out[i].Prob > out[j].Prob
+			}
+			return out[i].Token < out[j].Token
+		})
+		return model.NewDist(d.VocabSize(), out)
+	}
+}
+
+// Detect computes the one-sided z-score that the token sequence was
+// watermarked with w: the number of green tokens versus the binomial
+// expectation under no watermark. A z above ~4 is decisive.
+func (w Watermark) Detect(tokens []token.ID) (z float64, greenFrac float64) {
+	if len(tokens) < 2 {
+		return 0, 0
+	}
+	n, green := 0, 0
+	prev := token.PAD
+	for _, tok := range tokens {
+		if !token.IsSpecial(tok) {
+			n++
+			if w.Green(prev, tok) {
+				green++
+			}
+		}
+		prev = tok
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean := w.Gamma * float64(n)
+	sd := math.Sqrt(float64(n) * w.Gamma * (1 - w.Gamma))
+	if sd == 0 {
+		return 0, float64(green) / float64(n)
+	}
+	return (float64(green) - mean) / sd, float64(green) / float64(n)
+}

@@ -1,0 +1,224 @@
+package model
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/token"
+)
+
+// TokenProb pairs a token with its probability.
+type TokenProb struct {
+	Token token.ID
+	Prob  float64
+}
+
+// Dist is a next-token distribution. As the paper notes (§2.3), a full
+// distribution over a 100K vocabulary is ~200 KB; like real serving stacks,
+// the simulated model materializes only the top-K candidates and exposes a
+// queryable tail approximation for everything else. Probabilities over the
+// candidates sum to 1-TailMass.
+type Dist struct {
+	h     uint64
+	vocab int
+	cands []TokenProb // sorted by descending probability
+	tail  float64     // mass reserved for non-candidate tokens
+}
+
+// TailMass is the probability mass a Dist reserves for tokens outside its
+// explicit candidate set.
+const TailMass = 0.02
+
+func makeDist(h uint64, cfg Config) Dist {
+	k := cfg.TopK
+	d := Dist{h: h, vocab: cfg.VocabSize, tail: TailMass}
+	d.cands = make([]TokenProb, 0, k+1)
+
+	// Geometric decay with a context-dependent ratio in [0.55, 0.95] gives
+	// distributions of varying entropy.
+	ratio := 0.55 + 0.40*float64(splitmix64(h^1)%1024)/1024.0
+	seen := make(map[token.ID]bool, k)
+	w := 1.0
+	var sum float64
+	for i := 0; len(d.cands) < k; i++ {
+		id := token.ID(splitmix64(h^uint64(2+i)) % uint64(cfg.VocabSize))
+		if token.IsSpecial(id) || seen[id] {
+			continue
+		}
+		seen[id] = true
+		d.cands = append(d.cands, TokenProb{Token: id, Prob: w})
+		sum += w
+		w *= ratio
+	}
+
+	// Context-dependent EOS mass makes sampled generations terminate.
+	eos := cfg.EOSBias * float64(splitmix64(h^0xe05)%1024) / 1024.0
+	scale := (1 - TailMass - eos) / sum
+	for i := range d.cands {
+		d.cands[i].Prob *= scale
+	}
+	if eos > 0 {
+		d.cands = append(d.cands, TokenProb{Token: token.EOS, Prob: eos})
+	}
+	sort.Slice(d.cands, func(i, j int) bool {
+		if d.cands[i].Prob != d.cands[j].Prob {
+			return d.cands[i].Prob > d.cands[j].Prob
+		}
+		return d.cands[i].Token < d.cands[j].Token
+	})
+	return d
+}
+
+// NewDist builds a distribution from explicit candidates, for user
+// policies (watermarks, cascades) that rewrite model output. Candidate
+// probabilities are rescaled to sum to 1-TailMass, preserving the original
+// contract that non-candidate tokens keep a small queryable tail, so a
+// rewritten distribution still composes with Mask-based constraints. The
+// candidates must be sorted by descending probability.
+func NewDist(vocabSize int, cands []TokenProb) Dist {
+	d := Dist{vocab: vocabSize, tail: TailMass}
+	var sum float64
+	for _, c := range cands {
+		sum += c.Prob
+		d.h = splitmix64(d.h ^ uint64(uint32(c.Token)))
+	}
+	if sum <= 0 {
+		return d
+	}
+	scale := (1 - TailMass) / sum
+	d.cands = make([]TokenProb, len(cands))
+	for i, c := range cands {
+		d.cands[i] = TokenProb{Token: c.Token, Prob: c.Prob * scale}
+	}
+	return d
+}
+
+// Candidates returns the explicit candidates in descending probability
+// order. The slice is shared; callers must not mutate it.
+func (d Dist) Candidates() []TokenProb { return d.cands }
+
+// Greedy returns the most probable token.
+func (d Dist) Greedy() token.ID {
+	if len(d.cands) == 0 {
+		return token.EOS
+	}
+	return d.cands[0].Token
+}
+
+// VocabSize returns the vocabulary bound of the emitting model.
+func (d Dist) VocabSize() int { return d.vocab }
+
+// ProbOf returns the probability of an arbitrary token: the exact candidate
+// probability when tok is a candidate, otherwise a deterministic share of
+// the tail mass.
+func (d Dist) ProbOf(tok token.ID) float64 {
+	for _, c := range d.cands {
+		if c.Token == tok {
+			return c.Prob
+		}
+	}
+	if d.vocab <= len(d.cands) {
+		return 0
+	}
+	// Split tail mass unevenly but deterministically among non-candidates.
+	u := float64(splitmix64(d.h^uint64(tok)^0x7a11)%1024) / 1024.0
+	mean := d.tail / float64(d.vocab-len(d.cands))
+	return mean * (0.5 + u)
+}
+
+// Entropy returns the Shannon entropy (nats) over the candidate set,
+// ignoring the tail.
+func (d Dist) Entropy() float64 {
+	var e float64
+	for _, c := range d.cands {
+		if c.Prob > 0 {
+			e -= c.Prob * math.Log(c.Prob)
+		}
+	}
+	return e
+}
+
+// SampleAt inverts the candidate CDF at u in [0,1). Tail mass maps to the
+// least probable candidate, so SampleAt always returns a candidate.
+func (d Dist) SampleAt(u float64) token.ID {
+	if len(d.cands) == 0 {
+		return token.EOS
+	}
+	var acc float64
+	for _, c := range d.cands {
+		acc += c.Prob
+		if u < acc {
+			return c.Token
+		}
+	}
+	return d.cands[len(d.cands)-1].Token
+}
+
+// Mask restricts the distribution to the allowed token set and
+// renormalizes, the primitive constrained decoding builds on. Allowed
+// tokens outside the candidate set enter with their tail probability, so a
+// grammar can always make progress even when the model's top-K disagrees
+// with it. Mask returns the zero Dist if allowed is empty.
+func (d Dist) Mask(allowed []token.ID) Dist {
+	out := Dist{h: d.h, vocab: d.vocab}
+	var sum float64
+	for _, tok := range allowed {
+		p := d.ProbOf(tok)
+		if p <= 0 {
+			continue
+		}
+		out.cands = append(out.cands, TokenProb{Token: tok, Prob: p})
+		sum += p
+	}
+	if sum == 0 {
+		return out
+	}
+	for i := range out.cands {
+		out.cands[i].Prob /= sum
+	}
+	sort.Slice(out.cands, func(i, j int) bool {
+		if out.cands[i].Prob != out.cands[j].Prob {
+			return out.cands[i].Prob > out.cands[j].Prob
+		}
+		return out.cands[i].Token < out.cands[j].Token
+	})
+	return out
+}
+
+// Temperature returns a copy of the distribution with probabilities
+// raised to 1/temp and renormalized. temp <= 0 returns a one-hot greedy
+// distribution; temp == 1 returns d unchanged.
+func (d Dist) Temperature(temp float64) Dist {
+	if temp == 1 {
+		return d
+	}
+	out := Dist{h: d.h, vocab: d.vocab}
+	if temp <= 0 {
+		if len(d.cands) > 0 {
+			out.cands = []TokenProb{{Token: d.Greedy(), Prob: 1}}
+		}
+		return out
+	}
+	out.cands = make([]TokenProb, len(d.cands))
+	var sum float64
+	for i, c := range d.cands {
+		p := math.Pow(c.Prob, 1/temp)
+		out.cands[i] = TokenProb{Token: c.Token, Prob: p}
+		sum += p
+	}
+	for i := range out.cands {
+		out.cands[i].Prob /= sum
+	}
+	sort.Slice(out.cands, func(i, j int) bool {
+		if out.cands[i].Prob != out.cands[j].Prob {
+			return out.cands[i].Prob > out.cands[j].Prob
+		}
+		return out.cands[i].Token < out.cands[j].Token
+	})
+	return out
+}
+
+// ApproxBytes returns the wire size of the full distribution this Dist
+// stands for (vocab × fp16), the figure the paper cites when arguing the
+// sampling loop cannot live client-side.
+func (d Dist) ApproxBytes() int { return d.vocab * 2 }

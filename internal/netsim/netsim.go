@@ -1,0 +1,75 @@
+// Package netsim models the client↔server network that the paper's §2.2
+// argues prompt-serving systems cross too often. A Link charges virtual
+// time for propagation (half the RTT per direction) plus serialization at
+// a configured bandwidth; a RoundTrip is two crossings. Symphony pays one
+// round trip per program; prompt-serving baselines pay one per request and
+// two more per client-side function call.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Link is a symmetric client↔server network path.
+type Link struct {
+	clk *simclock.Clock
+	// RTT is the bare round-trip propagation delay.
+	RTT time.Duration
+	// BytesPerSec is the serialization bandwidth in each direction.
+	// Zero means infinite bandwidth.
+	BytesPerSec int64
+}
+
+// DefaultRTT is a typical same-region datacenter↔client round trip.
+const DefaultRTT = 25 * time.Millisecond
+
+// DefaultBandwidth is a typical WAN client link.
+const DefaultBandwidth = 12_500_000 // 100 Mbit/s
+
+// New returns a link with the given RTT and bandwidth on clock clk.
+func New(clk *simclock.Clock, rtt time.Duration, bytesPerSec int64) *Link {
+	return &Link{clk: clk, RTT: rtt, BytesPerSec: bytesPerSec}
+}
+
+// Default returns a link with typical WAN parameters.
+func Default(clk *simclock.Clock) *Link {
+	return New(clk, DefaultRTT, DefaultBandwidth)
+}
+
+// Loopback returns a zero-latency link, used to model co-located logic
+// (e.g. a LIP performing "network" calls inside the server).
+func Loopback(clk *simclock.Clock) *Link {
+	return New(clk, 0, 0)
+}
+
+// OneWay charges the calling actor for sending n bytes in one direction.
+func (l *Link) OneWay(n int) error {
+	d := l.RTT / 2
+	if l.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
+	}
+	if d == 0 {
+		return nil
+	}
+	return l.clk.Sleep(d)
+}
+
+// RoundTrip charges the calling actor for a request of reqBytes and a
+// response of respBytes.
+func (l *Link) RoundTrip(reqBytes, respBytes int) error {
+	if err := l.OneWay(reqBytes); err != nil {
+		return err
+	}
+	return l.OneWay(respBytes)
+}
+
+// TransferTime reports the one-way time for n bytes without sleeping.
+func (l *Link) TransferTime(n int) time.Duration {
+	d := l.RTT / 2
+	if l.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
+	}
+	return d
+}

@@ -1,0 +1,311 @@
+// Package sched implements the lower level of Symphony's two-level
+// scheduling scheme (paper §4.4): the batch inference scheduler.
+//
+// The upper level — the thread scheduler — is realized by the process and
+// thread machinery in internal/core: LIP threads are simclock actors, and
+// a thread that issues pred is moved to the "inference pool" simply by
+// parking on its call's completion event.
+//
+// The inference scheduler aggregates concurrent pred calls into batched
+// GPU steps. Because the simulated GPU (like a real one) charges a large
+// fixed kernel overhead per step, batching multiplies throughput; because
+// calls wait for the batch to be cut, batching too eagerly adds latency.
+// When the GPU is idle, the scheduler may hold the first arrival for a
+// policy-chosen window; while the GPU is busy executing a step, arrivals
+// accumulate naturally (continuous, iteration-level batching). The
+// Poisson-adaptive policy sizes the idle window from the observed syscall
+// arrival rate, as the paper sketches.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+// call is one pred call queued for execution.
+type call struct {
+	model    string
+	tokens   int
+	queuedAt time.Duration
+	done     *simclock.Event
+}
+
+// Estimate summarizes scheduler state for a batching policy.
+type Estimate struct {
+	// RatePerSec is the EWMA-estimated pred arrival rate; zero when
+	// unknown.
+	RatePerSec float64
+	// Queued is the number of calls already waiting (including the first
+	// call of the prospective batch).
+	Queued int
+}
+
+// Policy decides how long to hold the first call of a batch while the GPU
+// is idle, waiting for more calls to amortize the kernel overhead.
+type Policy interface {
+	Name() string
+	Window(e Estimate) time.Duration
+}
+
+// Immediate dispatches as soon as the GPU is free: no idle batching
+// window. This is the latency-greedy ablation baseline.
+type Immediate struct{}
+
+// Name implements Policy.
+func (Immediate) Name() string { return "immediate" }
+
+// Window implements Policy.
+func (Immediate) Window(Estimate) time.Duration { return 0 }
+
+// FixedWindow always holds the first call for a constant window.
+type FixedWindow struct{ D time.Duration }
+
+// Name implements Policy.
+func (p FixedWindow) Name() string { return fmt.Sprintf("fixed(%v)", p.D) }
+
+// Window implements Policy.
+func (p FixedWindow) Window(Estimate) time.Duration { return p.D }
+
+// Poisson adapts the window to the arrival rate: it waits roughly long
+// enough for TargetBatch calls to accumulate under the current Poisson
+// arrival estimate, never longer than MaxWait. With a high arrival rate
+// the window shrinks toward zero (the queue fills during GPU busy time
+// anyway); with a trickle of arrivals it stops waiting for peers that are
+// not coming.
+type Poisson struct {
+	TargetBatch int
+	MaxWait     time.Duration
+}
+
+// DefaultPoisson returns the policy configuration used by the Symphony
+// experiments.
+func DefaultPoisson() Poisson {
+	return Poisson{TargetBatch: 8, MaxWait: 20 * time.Millisecond}
+}
+
+// Name implements Policy.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%d,%v)", p.TargetBatch, p.MaxWait) }
+
+// Window implements Policy.
+func (p Poisson) Window(e Estimate) time.Duration {
+	if e.Queued >= p.TargetBatch {
+		return 0
+	}
+	if e.RatePerSec <= 0 {
+		return 0
+	}
+	need := p.TargetBatch - e.Queued
+	w := time.Duration(float64(need) / e.RatePerSec * float64(time.Second))
+	if w > p.MaxWait {
+		w = p.MaxWait
+	}
+	return w
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Models maps model name to its cost model. Every Submit must name a
+	// registered model.
+	Models map[string]model.CostModel
+	// Policy is the idle batching policy; nil means DefaultPoisson.
+	Policy Policy
+}
+
+// Stats is a snapshot of scheduler counters.
+type Stats struct {
+	Calls       int64
+	Tokens      int64
+	Batches     int64
+	Steps       int64
+	AvgBatch    float64
+	AvgTokens   float64
+	GPUBusy     time.Duration
+	Utilization float64 // GPUBusy / elapsed virtual time
+}
+
+// Scheduler is the batch inference scheduler plus the simulated GPU
+// executor: one actor that cuts batches and charges virtual time per step.
+type Scheduler struct {
+	clk    *simclock.Clock
+	models map[string]model.CostModel
+	policy Policy
+	queue  *simclock.Queue[*call]
+
+	mu        sync.Mutex
+	lastArr   time.Duration
+	haveArr   bool
+	ewmaGap   float64 // seconds
+	calls     int64
+	tokens    int64
+	batches   int64
+	steps     int64
+	batchW    metrics.Welford
+	tokensW   metrics.Welford
+	busy      time.Duration
+	delayHist *metrics.Histogram
+}
+
+// New starts a scheduler actor on clk.
+func New(clk *simclock.Clock, cfg Config) *Scheduler {
+	if cfg.Policy == nil {
+		cfg.Policy = DefaultPoisson()
+	}
+	s := &Scheduler{
+		clk:       clk,
+		models:    cfg.Models,
+		policy:    cfg.Policy,
+		queue:     simclock.NewQueue[*call](clk),
+		delayHist: metrics.NewHistogram(),
+	}
+	clk.Go("inference-scheduler", s.loop)
+	return s
+}
+
+// QueueDelay exposes the histogram of time calls spent queued before their
+// batch was cut.
+func (s *Scheduler) QueueDelay() *metrics.Histogram { return s.delayHist }
+
+// Stats returns a snapshot of counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	st := Stats{
+		Calls:     s.calls,
+		Tokens:    s.tokens,
+		Batches:   s.batches,
+		Steps:     s.steps,
+		AvgBatch:  s.batchW.Mean(),
+		AvgTokens: s.tokensW.Mean(),
+		GPUBusy:   s.busy,
+	}
+	if now > 0 {
+		st.Utilization = float64(s.busy) / float64(now)
+	}
+	return st
+}
+
+// Submit enqueues one pred call of newTokens tokens against the named
+// model and parks the calling actor until the GPU step containing it
+// completes. This is the transition the paper describes as moving the
+// thread into the "inference pool".
+func (s *Scheduler) Submit(modelName string, newTokens int) error {
+	cost, ok := s.models[modelName]
+	if !ok {
+		return fmt.Errorf("sched: unknown model %q", modelName)
+	}
+	if newTokens <= 0 {
+		return fmt.Errorf("sched: nonpositive token count %d", newTokens)
+	}
+	_ = cost
+	now := s.clk.Now()
+	s.mu.Lock()
+	if s.haveArr {
+		gap := (now - s.lastArr).Seconds()
+		const alpha = 0.2
+		s.ewmaGap = alpha*gap + (1-alpha)*s.ewmaGap
+	}
+	s.lastArr = now
+	s.haveArr = true
+	s.calls++
+	s.tokens += int64(newTokens)
+	s.mu.Unlock()
+
+	c := &call{model: modelName, tokens: newTokens, queuedAt: now, done: s.clk.NewEvent()}
+	s.queue.Put(c)
+	return c.done.Wait()
+}
+
+func (s *Scheduler) estimate(queued int) Estimate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := Estimate{Queued: queued}
+	if s.ewmaGap > 0 {
+		e.RatePerSec = 1 / s.ewmaGap
+	}
+	return e
+}
+
+// loop is the scheduler actor: cut a batch, execute it, repeat.
+func (s *Scheduler) loop() {
+	for {
+		first, err := s.queue.Get()
+		if err != nil {
+			return
+		}
+		if w := s.policy.Window(s.estimate(1 + s.queue.Len())); w > 0 {
+			if err := s.clk.Sleep(w); err != nil {
+				return
+			}
+		}
+		batch := append([]*call{first}, s.queue.Drain()...)
+		if err := s.execute(batch); err != nil {
+			return
+		}
+	}
+}
+
+// execute charges GPU time for one cut batch. Calls are grouped by model
+// (a forward pass runs one model) and each group is split into steps that
+// respect the model's MaxBatchTokens.
+func (s *Scheduler) execute(batch []*call) error {
+	start := s.clk.Now()
+	for _, c := range batch {
+		s.delayHist.Add(start - c.queuedAt)
+	}
+	s.mu.Lock()
+	s.batches++
+	s.batchW.Add(float64(len(batch)))
+	var totTok int
+	for _, c := range batch {
+		totTok += c.tokens
+	}
+	s.tokensW.Add(float64(totTok))
+	s.mu.Unlock()
+
+	// Group by model, preserving arrival order within each group.
+	groups := make(map[string][]*call)
+	var order []string
+	for _, c := range batch {
+		if _, ok := groups[c.model]; !ok {
+			order = append(order, c.model)
+		}
+		groups[c.model] = append(groups[c.model], c)
+	}
+	for _, name := range order {
+		cost := s.models[name]
+		pending := groups[name]
+		for len(pending) > 0 {
+			var step []*call
+			var stepCalls []model.BatchCall
+			budget := cost.MaxBatchTokens
+			for len(pending) > 0 {
+				c := pending[0]
+				if len(step) > 0 && budget < c.tokens {
+					break
+				}
+				step = append(step, c)
+				stepCalls = append(stepCalls, model.BatchCall{NewTokens: c.tokens})
+				budget -= c.tokens
+				pending = pending[1:]
+			}
+			d := cost.StepTime(stepCalls)
+			if err := s.clk.Sleep(d); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.busy += d
+			s.steps++
+			s.mu.Unlock()
+			for _, c := range step {
+				c.done.Fire()
+			}
+		}
+	}
+	return nil
+}

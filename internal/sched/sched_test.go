@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+const target = "llama-13b"
+
+func newSched(clk *simclock.Clock, p Policy) *Scheduler {
+	return New(clk, Config{
+		Models: map[string]model.CostModel{
+			target:  model.A100Llama13B(),
+			"draft": model.A100Llama1B(),
+		},
+		Policy: p,
+	})
+}
+
+func run(t *testing.T, clk *simclock.Clock, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		clk.Go("root", fn)
+		clk.WaitQuiescent()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("stalled: %v", clk.Snapshot())
+	}
+	clk.Shutdown()
+}
+
+func TestSingleCallCost(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, Immediate{})
+	cost := model.A100Llama13B()
+	var elapsed time.Duration
+	run(t, clk, func() {
+		start := clk.Now()
+		if err := s.Submit(target, 1); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+		elapsed = clk.Now() - start
+	})
+	want := cost.StepTime([]model.BatchCall{{NewTokens: 1}})
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+	st := s.Stats()
+	if st.Calls != 1 || st.Batches != 1 || st.Steps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentCallsBatch(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, Immediate{})
+	cost := model.A100Llama13B()
+	single := cost.StepTime([]model.BatchCall{{NewTokens: 1}})
+	const n = 16
+	var end time.Duration
+	run(t, clk, func() {
+		wg := clk.NewWaitGroup()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			clk.Go("caller", func() {
+				defer wg.Done()
+				s.Submit(target, 1)
+			})
+		}
+		wg.Wait()
+		end = clk.Now()
+	})
+	// All 16 arrive at t=0. Immediate policy cuts the first alone, then
+	// the remaining 15 accumulate during its step and form one batch:
+	// total well under 16 sequential steps.
+	if end >= time.Duration(n)*single {
+		t.Fatalf("no batching: %v >= %v", end, time.Duration(n)*single)
+	}
+	st := s.Stats()
+	if st.Calls != n {
+		t.Fatalf("calls = %d", st.Calls)
+	}
+	if st.Batches < 1 || st.Batches > 3 {
+		t.Fatalf("batches = %d, want 1-3", st.Batches)
+	}
+}
+
+func TestContinuousBatchingDuringBusyGPU(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, Immediate{})
+	var batches int64
+	run(t, clk, func() {
+		wg := clk.NewWaitGroup()
+		// First call occupies the GPU (~860ms prefill); the stragglers
+		// arrive during that step and must coalesce into one batch.
+		wg.Add(1)
+		clk.Go("prefill", func() {
+			defer wg.Done()
+			s.Submit(target, 3000)
+		})
+		clk.Sleep(5 * time.Millisecond)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			clk.Go("decode", func() {
+				defer wg.Done()
+				s.Submit(target, 1)
+			})
+		}
+		wg.Wait()
+		atomic.StoreInt64(&batches, s.Stats().Batches)
+	})
+	if batches != 2 {
+		t.Fatalf("batches = %d, want 2 (prefill, then one decode batch)", batches)
+	}
+}
+
+func TestPoissonPolicyWaitsAtLowQueueDepth(t *testing.T) {
+	p := Poisson{TargetBatch: 8, MaxWait: 20 * time.Millisecond}
+	// Rate 1000/s, 1 queued: window to gather 7 more ≈ 7ms.
+	w := p.Window(Estimate{RatePerSec: 1000, Queued: 1})
+	if w != 7*time.Millisecond {
+		t.Fatalf("window = %v, want 7ms", w)
+	}
+	// Queue already full: no wait.
+	if p.Window(Estimate{RatePerSec: 1000, Queued: 8}) != 0 {
+		t.Fatal("full queue should not wait")
+	}
+	// Unknown rate: no wait.
+	if p.Window(Estimate{Queued: 1}) != 0 {
+		t.Fatal("unknown rate should not wait")
+	}
+	// Slow arrivals: capped at MaxWait.
+	if p.Window(Estimate{RatePerSec: 1, Queued: 1}) != 20*time.Millisecond {
+		t.Fatal("window not capped")
+	}
+}
+
+func TestPoissonBatchesTrickleArrivals(t *testing.T) {
+	// Calls arriving 2ms apart: Poisson policy should hold the batch open
+	// and gather several, where Immediate would execute the first alone.
+	gather := func(p Policy) float64 {
+		clk := simclock.New()
+		s := newSched(clk, p)
+		run(t, clk, func() {
+			// Prime the rate estimator with a couple of warmup calls.
+			for i := 0; i < 3; i++ {
+				s.Submit(target, 1)
+				clk.Sleep(2 * time.Millisecond)
+			}
+			wg := clk.NewWaitGroup()
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				clk.Go("caller", func() {
+					defer wg.Done()
+					s.Submit(target, 1)
+				})
+				clk.Sleep(2 * time.Millisecond)
+			}
+			wg.Wait()
+		})
+		return s.Stats().AvgBatch
+	}
+	poisson := gather(Poisson{TargetBatch: 8, MaxWait: 30 * time.Millisecond})
+	immediate := gather(Immediate{})
+	if poisson <= immediate {
+		t.Fatalf("poisson avg batch %v <= immediate %v", poisson, immediate)
+	}
+}
+
+func TestFixedWindowGathers(t *testing.T) {
+	// Two calls 5ms apart under a 10ms window form one batch; under
+	// Immediate they form two.
+	count := func(p Policy) int64 {
+		clk := simclock.New()
+		s := newSched(clk, p)
+		run(t, clk, func() {
+			wg := clk.NewWaitGroup()
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				clk.Go("c", func() { defer wg.Done(); s.Submit(target, 1) })
+				clk.Sleep(5 * time.Millisecond)
+			}
+			wg.Wait()
+		})
+		return s.Stats().Batches
+	}
+	if got := count(FixedWindow{D: 10 * time.Millisecond}); got != 1 {
+		t.Fatalf("fixed-window batches = %d, want 1", got)
+	}
+	if got := count(Immediate{}); got != 2 {
+		t.Fatalf("immediate batches = %d, want 2", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{Immediate{}, FixedWindow{D: time.Millisecond}, DefaultPoisson()} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestMaxBatchTokensSplitsSteps(t *testing.T) {
+	clk := simclock.New()
+	cm := model.A100Llama13B()
+	cm.MaxBatchTokens = 100
+	s := New(clk, Config{
+		Models: map[string]model.CostModel{target: cm},
+		Policy: FixedWindow{D: 10 * time.Millisecond},
+	})
+	run(t, clk, func() {
+		wg := clk.NewWaitGroup()
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			clk.Go("caller", func() {
+				defer wg.Done()
+				s.Submit(target, 80) // 4×80 = 320 tokens > 100/step
+			})
+		}
+		wg.Wait()
+	})
+	st := s.Stats()
+	if st.Batches != 1 {
+		t.Fatalf("batches = %d", st.Batches)
+	}
+	if st.Steps != 4 {
+		t.Fatalf("steps = %d, want 4 (one per 80-token call)", st.Steps)
+	}
+}
+
+func TestOversizedCallStillRuns(t *testing.T) {
+	clk := simclock.New()
+	cm := model.A100Llama13B()
+	cm.MaxBatchTokens = 100
+	s := New(clk, Config{Models: map[string]model.CostModel{target: cm}, Policy: Immediate{}})
+	run(t, clk, func() {
+		if err := s.Submit(target, 500); err != nil {
+			t.Errorf("oversized call: %v", err)
+		}
+	})
+	if s.Stats().Steps != 1 {
+		t.Fatalf("steps = %d", s.Stats().Steps)
+	}
+}
+
+func TestMultiModelGrouping(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, FixedWindow{D: 5 * time.Millisecond})
+	run(t, clk, func() {
+		wg := clk.NewWaitGroup()
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			clk.Go("t", func() { defer wg.Done(); s.Submit(target, 1) })
+			wg.Add(1)
+			clk.Go("d", func() { defer wg.Done(); s.Submit("draft", 1) })
+		}
+		wg.Wait()
+	})
+	st := s.Stats()
+	if st.Batches != 1 {
+		t.Fatalf("batches = %d", st.Batches)
+	}
+	if st.Steps != 2 {
+		t.Fatalf("steps = %d, want 2 (one per model)", st.Steps)
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, Immediate{})
+	run(t, clk, func() {
+		if err := s.Submit("gpt-7", 1); err == nil {
+			t.Error("unknown model accepted")
+		}
+		if err := s.Submit(target, 0); err == nil {
+			t.Error("zero tokens accepted")
+		}
+	})
+}
+
+func TestUtilizationAndQueueDelay(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, Immediate{})
+	run(t, clk, func() {
+		wg := clk.NewWaitGroup()
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			clk.Go("caller", func() {
+				defer wg.Done()
+				s.Submit(target, 1)
+			})
+		}
+		wg.Wait()
+		clk.Sleep(time.Second) // idle tail drags utilization below 1
+	})
+	st := s.Stats()
+	if st.Utilization <= 0 || st.Utilization >= 1 {
+		t.Fatalf("utilization = %v", st.Utilization)
+	}
+	if st.GPUBusy == 0 {
+		t.Fatal("no busy time recorded")
+	}
+	if s.QueueDelay().Count() != 4 {
+		t.Fatalf("delay samples = %d", s.QueueDelay().Count())
+	}
+}
+
+func TestSchedulerShutdown(t *testing.T) {
+	clk := simclock.New()
+	s := newSched(clk, Immediate{})
+	errCh := make(chan error, 1)
+	clk.Go("caller", func() {
+		// Block the GPU then shut down mid-flight.
+		errCh <- s.Submit(target, 3000)
+	})
+	time.Sleep(20 * time.Millisecond)
+	clk.Shutdown()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Log("call completed before shutdown (acceptable)")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit did not return after shutdown")
+	}
+}

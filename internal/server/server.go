@@ -1,0 +1,178 @@
+// Package server exposes a Symphony kernel over HTTP: the deployment
+// shape of the paper's Figure 1 (bottom), where users ship programs to
+// the serving system instead of prompts.
+//
+//	POST /v1/programs     body: lipscript JSON       -> program output + accounting
+//	POST /v1/completions  body: {prompt,max_tokens}  -> legacy prompt API
+//	GET  /v1/stats                                    -> kernel counters
+//	GET  /healthz                                     -> liveness
+//
+// The completions endpoint is implemented by compiling the request into a
+// three-statement lipscript — under a program-serving architecture, a
+// prompt is just a degenerate program. The kernel runs on a realtime-paced
+// simulation clock, so latencies observed over HTTP reflect the cost
+// model.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lipscript"
+	"repro/internal/simclock"
+)
+
+// Server is the HTTP front-end.
+type Server struct {
+	clk *simclock.Clock
+	k   *core.Kernel
+	mux *http.ServeMux
+}
+
+// New wraps a kernel. The kernel's clock must be realtime-paced
+// (simclock.NewRealtime) for HTTP callers to observe meaningful timing.
+func New(clk *simclock.Clock, k *core.Kernel) *Server {
+	s := &Server{clk: clk, k: k, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.health)
+	s.mux.HandleFunc("/v1/stats", s.stats)
+	s.mux.HandleFunc("/v1/programs", s.programs)
+	s.mux.HandleFunc("/v1/completions", s.completions)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// wait blocks the (non-actor) HTTP goroutine on process completion by
+// proxying through a clock actor.
+func (s *Server) wait(p *core.Process) error {
+	done := make(chan error, 1)
+	s.clk.Go("http-wait", func() { done <- p.Wait() })
+	return <-done
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	st := s.k.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"processes":    st.Processes,
+		"pred_calls":   st.PredCalls,
+		"pred_tokens":  st.PredTokens,
+		"kv_calls":     st.KVCalls,
+		"tool_calls":   st.ToolCalls,
+		"ipc_messages": st.IPCMessages,
+		"gpu_pages":    st.FS.GPUPages,
+		"gpu_page_cap": st.FS.GPUPageCap,
+		"gpu_busy":     st.Sched.Utilization,
+		"avg_batch":    st.Sched.AvgBatch,
+		"virtual_time": s.clk.Now().String(),
+	})
+}
+
+// programResponse is the /v1/programs and /v1/completions reply.
+type programResponse struct {
+	Output      string `json:"output"`
+	PID         int    `json:"pid"`
+	PredTokens  int64  `json:"pred_tokens"`
+	VirtualTime string `json:"virtual_time"`
+	Error       string `json:"error,omitempty"`
+}
+
+// user resolves the requesting tenant (header-based; real deployments
+// would authenticate).
+func user(r *http.Request) string {
+	if u := r.Header.Get("X-Symphony-User"); u != "" {
+		return u
+	}
+	return "anonymous"
+}
+
+func (s *Server) programs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	p, err := lipscript.Submit(s.k, user(r), body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.respond(w, p)
+}
+
+// completionRequest is the legacy prompt API.
+type completionRequest struct {
+	Prompt      string  `json:"prompt"`
+	MaxTokens   int     `json:"max_tokens"`
+	Temperature float64 `json:"temperature,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+}
+
+func (s *Server) completions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req completionRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Prompt == "" || req.MaxTokens <= 0 {
+		httpError(w, http.StatusBadRequest, "prompt and max_tokens required")
+		return
+	}
+	// A prompt is a degenerate program: build it as one.
+	script := &lipscript.Script{Steps: []lipscript.Stmt{
+		{Op: lipscript.OpAnon, S: "ctx"},
+		{Op: lipscript.OpPrefill, S: "ctx", Text: req.Prompt},
+		{Op: lipscript.OpGenerate, S: "ctx", MaxTokens: req.MaxTokens,
+			Temperature: req.Temperature, Seed: req.Seed},
+		{Op: lipscript.OpRemove, S: "ctx"},
+	}}
+	if err := script.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := s.k.Submit(user(r), script.Program())
+	s.respond(w, p)
+}
+
+func (s *Server) respond(w http.ResponseWriter, p *core.Process) {
+	err := s.wait(p)
+	resp := programResponse{
+		Output:      p.Output(),
+		PID:         p.PID(),
+		PredTokens:  p.PredTokens(),
+		VirtualTime: p.Runtime().Round(time.Microsecond).String(),
+	}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusUnprocessableEntity
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+func newServer(t *testing.T) (*Server, *simclock.Clock) {
+	t.Helper()
+	// A heavily accelerated realtime clock keeps HTTP tests fast while
+	// preserving pacing semantics.
+	clk := simclock.NewRealtime(10000)
+	k := core.New(clk, core.Config{
+		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		Policy: sched.Immediate{},
+	})
+	k.RegisterTool("echo", core.Tool{
+		Latency: 10 * time.Millisecond,
+		Fn:      func(args string) (string, error) { return "echo:" + args, nil },
+	})
+	return New(clk, k), clk
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, programResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var out programResponse
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	json.Unmarshal(buf.Bytes(), &out)
+	return resp, out
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv, clk := newServer(t)
+	defer clk.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if _, ok := st["gpu_page_cap"]; !ok {
+		t.Fatalf("stats missing fields: %v", st)
+	}
+}
+
+func TestCompletionsEndpoint(t *testing.T) {
+	srv, clk := newServer(t)
+	defer clk.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, out := post(t, ts, "/v1/completions", `{"prompt":"hello symphony","max_tokens":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, out)
+	}
+	if out.Output == "" || out.PredTokens == 0 || out.PID == 0 {
+		t.Fatalf("degenerate response: %+v", out)
+	}
+	if out.VirtualTime == "0s" {
+		t.Fatalf("no virtual time charged: %+v", out)
+	}
+
+	// Identical request reproduces identical text (deterministic substrate).
+	_, out2 := post(t, ts, "/v1/completions", `{"prompt":"hello symphony","max_tokens":8}`)
+	if out2.Output != out.Output {
+		t.Fatalf("nondeterministic completions: %q vs %q", out.Output, out2.Output)
+	}
+
+	// Validation errors.
+	resp, _ = post(t, ts, "/v1/completions", `{"max_tokens":8}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing prompt accepted: %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/v1/completions", `{"prompt":"x","max_tokens":8,"bogus":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestProgramsEndpoint(t *testing.T) {
+	srv, clk := newServer(t)
+	defer clk.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	script := `{"steps":[
+		{"op":"anon","s":"a"},
+		{"op":"prefill","s":"a","text":"use the tool. "},
+		{"op":"call","tool":"echo","text":"ping","out":"r"},
+		{"op":"prefill","s":"a","text":"${r} "},
+		{"op":"generate","s":"a","max_tokens":6},
+		{"op":"emit","text":" [tool said ${r}]"},
+		{"op":"remove","s":"a"}
+	]}`
+	resp, out := post(t, ts, "/v1/programs", script)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, out)
+	}
+	if !strings.Contains(out.Output, "[tool said echo:ping]") {
+		t.Fatalf("tool result missing from output: %q", out.Output)
+	}
+
+	// Invalid scripts are rejected before execution.
+	resp, _ = post(t, ts, "/v1/programs", `{"steps":[{"op":"hack"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid script accepted: %d", resp.StatusCode)
+	}
+
+	// Budget violations surface as process errors, not 200s.
+	resp, out = post(t, ts, "/v1/programs", `{"budget":2,"steps":[
+		{"op":"anon","s":"a"},
+		{"op":"prefill","s":"a","text":"far too many tokens for two"}
+	]}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity || out.Error == "" {
+		t.Fatalf("budget violation not surfaced: %d %+v", resp.StatusCode, out)
+	}
+}
+
+func TestMethodValidation(t *testing.T) {
+	srv, clk := newServer(t)
+	defer clk.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/v1/programs", "/v1/completions"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestConcurrentHTTPClients(t *testing.T) {
+	srv, clk := newServer(t)
+	defer clk.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			body := `{"prompt":"client ` + string(rune('a'+i)) + `","max_tokens":4}`
+			resp, err := http.Post(ts.URL+"/v1/completions", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = http.ErrBodyNotAllowed
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent client: %v", err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package token
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecialsPresent(t *testing.T) {
+	v := NewVocab()
+	if v.Size() != int(numSpecials) {
+		t.Fatalf("fresh vocab size = %d, want %d", v.Size(), numSpecials)
+	}
+	if v.String(EOS) != "<eos>" {
+		t.Errorf("EOS renders as %q", v.String(EOS))
+	}
+	if !IsSpecial(BOS) || IsSpecial(numSpecials) {
+		t.Error("IsSpecial boundary wrong")
+	}
+}
+
+func TestInternStable(t *testing.T) {
+	v := NewVocab()
+	a := v.Intern("hello")
+	b := v.Intern("world")
+	if a == b {
+		t.Fatal("distinct strings share an ID")
+	}
+	if v.Intern("hello") != a {
+		t.Fatal("re-intern changed ID")
+	}
+	if v.Lookup("hello") != a {
+		t.Fatal("Lookup disagrees with Intern")
+	}
+	if v.Lookup("absent") != Invalid {
+		t.Fatal("Lookup invented an ID")
+	}
+	if v.String(a) != "hello" {
+		t.Fatalf("String(%d) = %q", a, v.String(a))
+	}
+}
+
+func TestUnknownIDRendersPseudoWord(t *testing.T) {
+	v := NewVocab()
+	s := v.String(99999)
+	if s == "" || !strings.HasSuffix(s, " ") {
+		t.Fatalf("pseudo-word %q malformed", s)
+	}
+	if v.String(99999) != s {
+		t.Fatal("pseudo-word not stable")
+	}
+	if v.String(99998) == s {
+		t.Fatal("adjacent IDs render identically")
+	}
+	if !strings.Contains(v.String(Invalid), "⟨") {
+		t.Fatalf("negative ID placeholder missing: %q", v.String(Invalid))
+	}
+}
+
+func TestEncodeSegmentation(t *testing.T) {
+	tok := NewTokenizer(NewVocab())
+	ids := tok.Encode("foo_bar42, baz!")
+	var got []string
+	for _, id := range ids {
+		got = append(got, tok.Vocab().String(id))
+	}
+	want := []string{"foo_bar42", ",", " ", "baz", "!"}
+	if len(got) != len(want) {
+		t.Fatalf("segments = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripExamples(t *testing.T) {
+	tok := NewTokenizer(NewVocab())
+	cases := []string{
+		"",
+		"hello world",
+		"  leading and trailing  ",
+		"tabs\tand\nnewlines",
+		"punct!!!...(nested [brackets])",
+		"unicode: héllo wörld — em-dash",
+		"数字と漢字 mixed 123",
+	}
+	for _, c := range cases {
+		if got := tok.Decode(tok.Encode(c)); got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	tok := NewTokenizer(NewVocab())
+	f := func(s string) bool {
+		return tok.Decode(tok.Encode(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSkipsSpecials(t *testing.T) {
+	tok := NewTokenizer(NewVocab())
+	ids := append([]ID{BOS}, tok.Encode("hi")...)
+	ids = append(ids, EOS)
+	if got := tok.Decode(ids); got != "hi" {
+		t.Fatalf("Decode with specials = %q", got)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	v := NewVocab()
+	var wg sync.WaitGroup
+	ids := make([]ID, 64)
+	for i := range ids {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[i] = v.Intern("shared")
+		}()
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatal("concurrent Intern returned different IDs for same string")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package trace records kernel events on the virtual timeline and exports
+// them in Chrome trace-event format (chrome://tracing, Perfetto). The
+// paper's §6 notes that evaluating program-serving systems needs
+// visibility into end-to-end, multi-step workflows rather than per-prompt
+// metrics; the tracer is that instrument: every process, pred call, GPU
+// wait, tool call, and KV migration shows up as a span on its process's
+// row.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event span.
+type Kind string
+
+// Event kinds emitted by the kernel.
+const (
+	KindProcess Kind = "process" // whole process lifetime
+	KindPred    Kind = "pred"    // one pred syscall (queue + GPU time)
+	KindTool    Kind = "tool"    // external interaction wait
+	KindRestore Kind = "restore" // KV host→GPU migration
+	KindLock    Kind = "lock"    // advisory lock wait
+)
+
+// Event is one completed span.
+type Event struct {
+	At     time.Duration // virtual start time
+	Dur    time.Duration
+	PID    int
+	TID    int // thread within the process
+	Kind   Kind
+	Detail string
+}
+
+// Tracer accumulates events. A nil *Tracer is valid and discards
+// everything, so instrumentation sites need no guards.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Span records one completed span. Safe on a nil receiver.
+func (t *Tracer) Span(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a time-sorted copy of all recorded spans.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeEvent is the trace-event JSON schema ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome serializes the trace in Chrome trace-event array format.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	evs := t.Events()
+	out := make([]chromeEvent, len(evs))
+	for i, e := range evs {
+		out[i] = chromeEvent{
+			Name: string(e.Kind),
+			Cat:  string(e.Kind),
+			Ph:   "X",
+			Ts:   float64(e.At) / float64(time.Microsecond),
+			Dur:  float64(e.Dur) / float64(time.Microsecond),
+			PID:  e.PID,
+			TID:  e.TID,
+		}
+		if e.Detail != "" {
+			out[i].Args = map[string]string{"detail": e.Detail}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span(Event{Kind: KindPred})
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	tr := New()
+	tr.Span(Event{At: 30 * time.Millisecond, Kind: KindTool})
+	tr.Span(Event{At: 10 * time.Millisecond, Kind: KindPred})
+	tr.Span(Event{At: 20 * time.Millisecond, Kind: KindPred})
+	evs := tr.Events()
+	if len(evs) != 3 || tr.Len() != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events unsorted")
+		}
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	tr := New()
+	tr.Span(Event{
+		At: 1500 * time.Microsecond, Dur: 250 * time.Microsecond,
+		PID: 3, TID: 1, Kind: KindPred, Detail: "4 tokens",
+	})
+	tr.Span(Event{At: 0, Dur: time.Second, PID: 3, Kind: KindProcess})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("events = %d", len(out))
+	}
+	first := out[1] // sorted: process (At 0) first, pred second
+	if out[0]["name"] != "process" || first["name"] != "pred" {
+		t.Fatalf("names: %v %v", out[0]["name"], first["name"])
+	}
+	if first["ts"].(float64) != 1500 || first["dur"].(float64) != 250 {
+		t.Fatalf("timestamps wrong: %v", first)
+	}
+	if first["args"].(map[string]any)["detail"] != "4 tokens" {
+		t.Fatalf("detail missing: %v", first)
+	}
+	if first["ph"] != "X" {
+		t.Fatal("not a complete event")
+	}
+}
