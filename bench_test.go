@@ -220,6 +220,33 @@ func BenchmarkBatchPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkScaling regenerates S1 (§4.4): batch-scheduler throughput
+// across GPU replica counts under saturating closed-loop load, reporting
+// virtual throughput and the speedup over one replica. The 1-replica
+// baseline is deterministic, so it runs once up front rather than inside
+// every timed iteration.
+func BenchmarkScaling(b *testing.B) {
+	base := experiments.RunScaling(func() experiments.ScalingConfig {
+		cfg := experiments.QuickScaling()
+		cfg.Replicas = []int{1}
+		return cfg
+	}())[0].Throughput
+	for _, gpus := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("gpus=%d", gpus), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.QuickScaling()
+				cfg.Replicas = []int{gpus}
+				pt := experiments.RunScaling(cfg)[0]
+				b.ReportMetric(pt.Throughput, "vthru-req/s")
+				if base > 0 {
+					b.ReportMetric(pt.Throughput/base, "speedup-x")
+				}
+				b.ReportMetric(pt.UtilMean, "util")
+			}
+		})
+	}
+}
+
 // BenchmarkOverhead regenerates ablation A2 (§6).
 func BenchmarkOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {

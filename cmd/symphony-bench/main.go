@@ -7,24 +7,43 @@
 //
 //	symphony-bench -exp fig3          # the paper's Figure 3 (both panels)
 //	symphony-bench -exp all -quick    # everything, reduced grids
+//	symphony-bench -exp scaling -gpus 1,2,4,8 -dispatch cache-affinity
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
-// tot, editor, batching, overhead, all.
+// tot, editor, batching, overhead, scaling, all.
+//
+// The scaling experiment sweeps the batch scheduler across simulated GPU
+// replica counts (-gpus, a comma-separated list) under a saturating
+// closed-loop load, routing pred calls with the -dispatch policy
+// (round-robin, least-loaded, or cache-affinity); it reports virtual
+// throughput, speedup over one replica, and per-replica utilization
+// balance.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|scaling|all)")
 	quick := flag.Bool("quick", false, "use reduced grids for a fast pass")
+	gpus := flag.String("gpus", "", "comma-separated GPU replica counts for -exp scaling (default 1,2,4,8)")
+	dispatch := flag.String("dispatch", "",
+		"replica dispatch policy for -exp scaling ("+strings.Join(sched.DispatcherNames(), "|")+")")
 	flag.Parse()
+
+	if _, err := sched.NewDispatcher(*dispatch); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	start := time.Now()
 	ran := false
@@ -41,6 +60,7 @@ func main() {
 		{"editor", runEditor},
 		{"batching", runBatching},
 		{"overhead", runOverhead},
+		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -135,5 +155,28 @@ func runOverhead(quick bool) {
 		cfg.Requests = 20
 	}
 	tab := experiments.OverheadTable(experiments.RunOverhead(cfg))
+	fmt.Println(tab.String())
+}
+
+func runScaling(quick bool, gpus, dispatch string) {
+	cfg := experiments.DefaultScaling()
+	if quick {
+		cfg = experiments.QuickScaling()
+	}
+	if gpus != "" {
+		cfg.Replicas = nil
+		for _, s := range strings.Split(gpus, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -gpus entry %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Replicas = append(cfg.Replicas, n)
+		}
+	}
+	if dispatch != "" {
+		cfg.Dispatcher = dispatch
+	}
+	tab := experiments.ScalingTable(experiments.RunScaling(cfg))
 	fmt.Println(tab.String())
 }

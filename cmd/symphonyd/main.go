@@ -5,7 +5,13 @@
 // model on a realtime-paced virtual clock, so observed latencies follow
 // the A100/13B cost model.
 //
-//	symphonyd -addr :8080 -speedup 1
+// The batch scheduler can drive several simulated GPUs: -gpus sets the
+// replica count and -dispatch selects how pred calls are routed across
+// them (round-robin, least-loaded, or cache-affinity, which pins forks of
+// one conversation to the replica holding their prefix). Per-replica
+// utilization is reported by /v1/stats.
+//
+//	symphonyd -addr :8080 -speedup 1 -gpus 4 -dispatch cache-affinity
 //	curl -s localhost:8080/v1/completions -d '{"prompt":"hi","max_tokens":16}'
 //	curl -s localhost:8080/v1/programs -d @examples/wire/agent.json
 //	curl -s localhost:8080/v1/stats
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -28,8 +35,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	speedup := flag.Float64("speedup", 1, "virtual-time speedup over wall time")
+	gpus := flag.Int("gpus", 1, "number of simulated GPU replicas")
+	dispatch := flag.String("dispatch", "round-robin",
+		"replica dispatch policy ("+strings.Join(sched.DispatcherNames(), "|")+")")
 	flag.Parse()
 
+	dispatcher, err := sched.NewDispatcher(*dispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	clk := simclock.NewRealtime(*speedup)
 	target := model.New(model.Llama13B())
 	kernel := core.New(clk, core.Config{
@@ -39,6 +53,8 @@ func main() {
 		},
 		DefaultModel: "llama-13b",
 		Policy:       sched.DefaultPoisson(),
+		Replicas:     *gpus,
+		Dispatcher:   dispatcher,
 	})
 	kernel.RegisterTool("search", core.Tool{
 		Latency: 150 * time.Millisecond,
@@ -49,7 +65,8 @@ func main() {
 		Fn:      func(args string) (string, error) { return fmt.Sprintf("weather(%s)=fair", args), nil },
 	})
 
-	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time", *addr, *speedup)
+	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch",
+		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher())
 	if err := http.ListenAndServe(*addr, server.New(clk, kernel)); err != nil {
 		log.Fatal(err)
 	}

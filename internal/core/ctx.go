@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kvfs"
 	"repro/internal/model"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/token"
 	"repro/internal/trace"
@@ -281,7 +282,14 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 
 	pstart := k.clk.Now()
 	k.gauge(stateRunning, stateInferWait)
-	serr := k.sch.Submit(resolvedName(k, modelName), len(toks))
+	// The affinity key is the file's root KV hash: forks of one
+	// conversation share it, so cache-aware dispatch keeps them on the
+	// replica already holding their prefix.
+	serr := k.sch.SubmitCall(sched.Call{
+		Model:    resolvedName(k, modelName),
+		Tokens:   len(toks),
+		Affinity: uint64(f.Root()),
+	})
 	k.gauge(stateInferWait, stateRunning)
 	if serr != nil {
 		return nil, serr

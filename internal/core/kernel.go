@@ -68,6 +68,12 @@ type Config struct {
 	FS kvfs.Config
 	// Policy is the batch scheduler policy; nil means sched.DefaultPoisson.
 	Policy sched.Policy
+	// Replicas is the number of simulated GPU executors behind the batch
+	// scheduler; values < 1 mean one.
+	Replicas int
+	// Dispatcher routes pred calls across replicas; nil means
+	// round-robin. See sched.NewDispatcher for selection by name.
+	Dispatcher sched.Dispatcher
 	// OffloadThreshold is the minimum tool latency for which the kernel
 	// bothers offloading a waiting thread's KV pages (default 50ms).
 	OffloadThreshold time.Duration
@@ -159,11 +165,16 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		tok = token.NewTokenizer(token.NewVocab())
 	}
 	k := &Kernel{
-		clk:              clk,
-		models:           cfg.Models,
-		defMod:           def,
-		fs:               kvfs.NewFS(fsCfg),
-		sch:              sched.New(clk, sched.Config{Models: costs, Policy: cfg.Policy}),
+		clk:    clk,
+		models: cfg.Models,
+		defMod: def,
+		fs:     kvfs.NewFS(fsCfg),
+		sch: sched.New(clk, sched.Config{
+			Models:     costs,
+			Policy:     cfg.Policy,
+			Replicas:   cfg.Replicas,
+			Dispatcher: cfg.Dispatcher,
+		}),
 		tok:              tok,
 		offloadThreshold: thr,
 		tracer:           cfg.Tracer,

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lip"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/token"
+)
+
+// ScalingConfig parameterizes the multi-GPU scaling sweep: a closed-loop
+// population of clients issuing completion programs back-to-back against
+// kernels with increasing replica counts. Closed-loop load saturates
+// whatever replica count is offered (every client always has a request in
+// flight) while keeping in-flight KV bounded, so throughput measures the
+// scheduler's ability to spread work, not the arrival process.
+type ScalingConfig struct {
+	// Replicas lists the GPU replica counts to sweep.
+	Replicas []int
+	// Dispatcher names the dispatch policy (see sched.NewDispatcher);
+	// empty means round-robin.
+	Dispatcher string
+	// Clients is the closed-loop population size.
+	Clients int
+	// RequestsPerClient is how many completions each client runs.
+	RequestsPerClient int
+	// PrefillTokens and DecodeTokens shape each request.
+	PrefillTokens int
+	DecodeTokens  int
+}
+
+// DefaultScaling returns the sweep used by symphony-bench -exp scaling.
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{
+		Replicas:          []int{1, 2, 4, 8},
+		Dispatcher:        "least-loaded",
+		Clients:           96,
+		RequestsPerClient: 4,
+		PrefillTokens:     256,
+		DecodeTokens:      24,
+	}
+}
+
+// QuickScaling returns a reduced sweep for -quick and the test suite.
+func QuickScaling() ScalingConfig {
+	return ScalingConfig{
+		Replicas:          []int{1, 4},
+		Dispatcher:        "least-loaded",
+		Clients:           64,
+		RequestsPerClient: 2,
+		PrefillTokens:     192,
+		DecodeTokens:      16,
+	}
+}
+
+// ScalingPoint is one replica count's measurement.
+type ScalingPoint struct {
+	Replicas    int
+	Dispatcher  string
+	Completed   int
+	Makespan    time.Duration
+	Throughput  float64 // virtual req/s
+	Speedup     float64 // vs the 1-replica row (1 when absent)
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	AvgBatch    float64
+	UtilMean    float64 // mean per-replica utilization
+	UtilMin     float64 // least-loaded replica (balance check)
+	UtilMax     float64 // most-loaded replica
+}
+
+// RunScaling sweeps replica counts under saturating closed-loop load.
+func RunScaling(cfg ScalingConfig) []ScalingPoint {
+	var out []ScalingPoint
+	for _, n := range cfg.Replicas {
+		out = append(out, runScalingCell(cfg, n))
+	}
+	// Speedup is relative to the first 1-replica row, if the sweep has one.
+	var base float64
+	for _, p := range out {
+		if p.Replicas == 1 {
+			base = p.Throughput
+			break
+		}
+	}
+	for i := range out {
+		if base > 0 {
+			out[i].Speedup = out[i].Throughput / base
+		} else {
+			out[i].Speedup = 1
+		}
+	}
+	return out
+}
+
+// runScalingCell measures one replica count.
+func runScalingCell(cfg ScalingConfig, replicas int) ScalingPoint {
+	dispatcher, err := sched.NewDispatcher(cfg.Dispatcher)
+	if err != nil {
+		panic(err)
+	}
+	clk := simclock.New()
+	tok := token.NewTokenizer(token.NewVocab())
+	k := core.New(clk, core.Config{
+		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		// One shared KV pool sized so the closed-loop population never
+		// hits ErrNoSpace: capacity is not the variable under study.
+		FS:         fig3FS(64<<30, model.A100Llama13B().KVBytesPerToken),
+		Policy:     sched.DefaultPoisson(),
+		Replicas:   replicas,
+		Dispatcher: dispatcher,
+		Tokenizer:  tok,
+	})
+
+	lat := metrics.NewHistogram()
+	var (
+		mu        sync.Mutex
+		completed int
+		lastDone  time.Duration
+	)
+	drive(clk, func() {
+		wg := clk.NewWaitGroup()
+		for c := 0; c < cfg.Clients; c++ {
+			c := c
+			wg.Add(1)
+			clk.Go(fmt.Sprintf("client-%d", c), func() {
+				defer wg.Done()
+				for r := 0; r < cfg.RequestsPerClient; r++ {
+					prompt := syntheticPrompt(cfg.PrefillTokens/2, int(1e6)+c*1000+r)
+					start := clk.Now()
+					p := k.Submit("scaling", func(ctx *core.Ctx) error {
+						f, err := ctx.KvAnon()
+						if err != nil {
+							return err
+						}
+						defer f.Remove()
+						s := lip.NewSession(ctx, f)
+						_, err = lip.Complete(s, prompt, cfg.DecodeTokens)
+						return err
+					})
+					if p.Wait() == nil {
+						now := clk.Now()
+						lat.Add(now - start)
+						mu.Lock()
+						completed++
+						if now > lastDone {
+							lastDone = now
+						}
+						mu.Unlock()
+					}
+				}
+			})
+		}
+		wg.Wait()
+	})
+
+	st := k.Stats().Sched
+	pt := ScalingPoint{
+		Replicas:    replicas,
+		Dispatcher:  st.Dispatcher,
+		Completed:   completed,
+		Makespan:    lastDone,
+		MeanLatency: lat.Mean(),
+		P99Latency:  lat.Quantile(0.99),
+		AvgBatch:    st.AvgBatch,
+		UtilMean:    st.Utilization,
+	}
+	if lastDone > 0 {
+		pt.Throughput = float64(completed) / lastDone.Seconds()
+	}
+	for i, rs := range st.Replicas {
+		if i == 0 || rs.Utilization < pt.UtilMin {
+			pt.UtilMin = rs.Utilization
+		}
+		if rs.Utilization > pt.UtilMax {
+			pt.UtilMax = rs.Utilization
+		}
+	}
+	return pt
+}
+
+// ScalingTable renders the sweep.
+func ScalingTable(points []ScalingPoint) metrics.Table {
+	t := metrics.Table{
+		Title:   "S1 (§4.4): batch-scheduler throughput scaling across GPU replicas",
+		Headers: []string{"gpus", "dispatch", "req/s", "speedup", "mean-req", "p99-req", "avg-batch", "util-mean", "util-min", "util-max"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Replicas, p.Dispatcher,
+			fmt.Sprintf("%.2f", p.Throughput), fmt.Sprintf("%.2fx", p.Speedup),
+			p.MeanLatency, p.P99Latency, p.AvgBatch,
+			fmt.Sprintf("%.2f", p.UtilMean), fmt.Sprintf("%.2f", p.UtilMin), fmt.Sprintf("%.2f", p.UtilMax))
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestScalingThroughputAndBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	cfg := QuickScaling()
+	pts := RunScaling(cfg)
+	if len(pts) != 2 || pts[0].Replicas != 1 || pts[1].Replicas != 4 {
+		t.Fatalf("unexpected sweep shape: %+v", pts)
+	}
+	one, four := pts[0], pts[1]
+	want := cfg.Clients * cfg.RequestsPerClient
+	for _, p := range pts {
+		if p.Completed != want {
+			t.Fatalf("%d replicas completed %d of %d requests", p.Replicas, p.Completed, want)
+		}
+		if p.Dispatcher != cfg.Dispatcher {
+			t.Fatalf("dispatcher = %q, want %q", p.Dispatcher, cfg.Dispatcher)
+		}
+	}
+	// The acceptance bar: ≥2.5× virtual throughput at 4 replicas under
+	// saturating closed-loop load (the deterministic quick sweep measures
+	// ~2.8×; 2.5 leaves headroom for config drift, not nondeterminism).
+	if four.Speedup < 2.5 {
+		t.Fatalf("4-replica speedup = %.2fx, want >= 2.5x (1: %+v, 4: %+v)", four.Speedup, one, four)
+	}
+	// Dispatch must keep the replicas balanced: the least-utilized replica
+	// stays within 75%% of the most-utilized one.
+	if four.UtilMax == 0 || four.UtilMin/four.UtilMax < 0.75 {
+		t.Fatalf("unbalanced replicas: util min %.2f max %.2f", four.UtilMin, four.UtilMax)
+	}
+	if one.UtilMean < four.UtilMean {
+		t.Fatalf("1-replica utilization %.2f below 4-replica %.2f", one.UtilMean, four.UtilMean)
+	}
+}
+
+func TestScalingDispatcherVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	// Every registered dispatcher must clear the same scaling bar on the
+	// reduced sweep — cache-affinity pays a balance penalty (keys hash
+	// where they hash) but still has to scale.
+	for _, name := range []string{"round-robin", "cache-affinity"} {
+		cfg := QuickScaling()
+		cfg.Dispatcher = name
+		pts := RunScaling(cfg)
+		if s := pts[len(pts)-1].Speedup; s < 2.0 {
+			t.Errorf("%s: 4-replica speedup = %.2fx, want >= 2.0x", name, s)
+		}
+	}
+}

@@ -197,6 +197,8 @@ func TestJSONMachineAcceptsValidDocuments(t *testing.T) {
 		`{"a":1}`, `{"a":[1,2,{"b":null}],"c":"x"}`,
 		` { "k" : [ true , false ] } `,
 		`"esc \" and \\ and \n"`,
+		`"\/\b\f\r\t"`,
+		`"\` + `u0041"`, `"a\` + `u00e9b"`, `{"\` + `u002Fkey":"\` + `uABCD"}`,
 		`[[[[1]]]]`,
 	}
 	for _, doc := range docs {
@@ -228,6 +230,47 @@ func TestJSONMachineRejectsInvalid(t *testing.T) {
 		if m.StepString(doc) {
 			t.Errorf("did not reject %q", doc)
 		}
+	}
+}
+
+func TestJSONMachineStringEscapes(t *testing.T) {
+	// Invalid escapes must kill the machine at the offending byte, not
+	// pass as ordinary string content.
+	bad := []string{
+		`"\q"`,          // not in the escape set
+		`"\x41"`,        // hex escape is not JSON
+		`"\u12"`,        // too few hex digits before the closing quote
+		`"\u12g4"`,      // non-hex digit
+		`"\u"`,          // no digits at all
+		`{"\uZZZZ"`,     // bad hex in a key
+		`"\` + `u12aBg`, // 4 valid digits, then g continues as an ordinary string byte
+	}
+	for _, doc := range bad[:6] {
+		m := NewJSONMachine()
+		if m.StepString(doc) {
+			t.Errorf("accepted invalid escape %q", doc)
+		}
+	}
+	// After exactly 4 hex digits the machine returns to ordinary string
+	// mode: trailing bytes and the closing quote behave normally.
+	m := NewJSONMachine()
+	if !m.StepString(bad[6]+`"`) || !m.Complete() {
+		t.Errorf("rejected valid post-escape continuation")
+	}
+	// A \uXXXX escape in an object key keeps key handling intact.
+	m = NewJSONMachine()
+	if !m.StepString(`{"\`+`u0041":1}`) || !m.Complete() {
+		t.Errorf("rejected \\u escape in object key")
+	}
+	// Clone independence extends to mid-escape state.
+	m = NewJSONMachine()
+	m.StepString(`"\u12`)
+	c := m.Clone()
+	if !c.StepString(`34"`) || !c.Complete() {
+		t.Error("clone failed to finish escape")
+	}
+	if m.StepString(`"`) {
+		t.Error("parent accepted quote mid-escape after clone")
 	}
 }
 

@@ -14,6 +14,7 @@ const (
 	jmArrValOrClose                 // inside [, expecting a value or ]
 	jmString                        // inside a string
 	jmStringEsc                     // after a backslash in a string
+	jmStringHex                     // inside the 4 hex digits of \uXXXX
 	jmNumber                        // inside a number
 	jmLiteral                       // inside true/false/null
 	jmAfterValue                    // a value just ended
@@ -52,6 +53,7 @@ type JSONMachine struct {
 	litPos int
 	key    bool // current string is an object key
 	num    numState
+	hex    int // hex digits consumed of a \uXXXX escape
 }
 
 // NewJSONMachine returns a machine expecting one JSON value.
@@ -66,6 +68,9 @@ func (m *JSONMachine) Clone() *JSONMachine {
 
 func isWS(b byte) bool    { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
 func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isHex(b byte) bool {
+	return isDigit(b) || (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F')
+}
 
 // Step consumes one byte, returning false (and entering a dead state) if
 // no valid JSON document starts with the bytes seen so far plus b.
@@ -154,10 +159,25 @@ func (m *JSONMachine) step(b byte) bool {
 		return true
 
 	case jmStringEsc:
-		// Loose: any escape byte accepted (including the first of \uXXXX,
-		// whose hex digits then pass as ordinary string bytes).
-		m.mode = jmString
-		return true
+		switch b {
+		case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+			m.mode = jmString
+			return true
+		case 'u':
+			m.mode, m.hex = jmStringHex, 0
+			return true
+		}
+		return false
+
+	case jmStringHex:
+		if isHex(b) {
+			m.hex++
+			if m.hex == 4 {
+				m.mode = jmString
+			}
+			return true
+		}
+		return false
 
 	case jmNumber:
 		switch m.num {

@@ -57,6 +57,19 @@ func (f *File) Len() int {
 	return f.length
 }
 
+// Root returns the context hash of the file's first KV entry, or zero for
+// an empty file. Forks and prefix extracts of a file share its root, so
+// the hash identifies a conversation's prefix lineage — the affinity key
+// cache-aware replica dispatch routes on.
+func (f *File) Root() model.CtxHash {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.length == 0 {
+		return 0
+	}
+	return f.entryAtLocked(0).KV
+}
+
 // Tail returns the context hash identifying the file's full visible
 // context — the input to the model for the next pred call.
 func (f *File) Tail() model.CtxHash {

@@ -15,6 +15,13 @@
 // accumulate naturally (continuous, iteration-level batching). The
 // Poisson-adaptive policy sizes the idle window from the observed syscall
 // arrival rate, as the paper sketches.
+//
+// The scheduler drives Config.Replicas independent GPU executors
+// ("replicas"), each with its own queue, batching loop, busy clock, and
+// queue-delay histogram. A pluggable Dispatcher (see dispatch.go) routes
+// each submitted call to a replica: round-robin, least-loaded, or
+// cache-affinity. With one replica (the default) behaviour is identical
+// to the original single-GPU scheduler.
 package sched
 
 import (
@@ -37,8 +44,10 @@ type call struct {
 
 // Estimate summarizes scheduler state for a batching policy.
 type Estimate struct {
-	// RatePerSec is the EWMA-estimated pred arrival rate; zero when
-	// unknown.
+	// RatePerSec is the EWMA-estimated arrival rate of calls dispatched
+	// to this replica; zero when unknown. Each replica tracks its own
+	// rate, so skewed dispatchers (cache-affinity pinning a hot
+	// conversation) size their hot replica's window from its real load.
 	RatePerSec float64
 	// Queued is the number of calls already waiting (including the first
 	// call of the prospective batch).
@@ -114,10 +123,16 @@ type Config struct {
 	Models map[string]model.CostModel
 	// Policy is the idle batching policy; nil means DefaultPoisson.
 	Policy Policy
+	// Replicas is the number of independent GPU executors; values < 1
+	// mean one (the paper's single-GPU setting).
+	Replicas int
+	// Dispatcher routes calls across replicas; nil means round-robin.
+	Dispatcher Dispatcher
 }
 
-// Stats is a snapshot of scheduler counters.
-type Stats struct {
+// ReplicaStats is a snapshot of one replica's counters.
+type ReplicaStats struct {
+	ID          int
 	Calls       int64
 	Tokens      int64
 	Batches     int64
@@ -126,66 +141,159 @@ type Stats struct {
 	AvgTokens   float64
 	GPUBusy     time.Duration
 	Utilization float64 // GPUBusy / elapsed virtual time
+	DelayMean   time.Duration
+	DelayP99    time.Duration
+}
+
+// Stats is a snapshot of scheduler counters. The top-level fields
+// aggregate across replicas (GPUBusy is summed; Utilization is the mean
+// per-replica utilization, i.e. GPUBusy / (elapsed · replicas)).
+type Stats struct {
+	Calls       int64
+	Tokens      int64
+	Batches     int64
+	Steps       int64
+	AvgBatch    float64
+	AvgTokens   float64
+	GPUBusy     time.Duration
+	Utilization float64
+	Dispatcher  string
+	Replicas    []ReplicaStats
 }
 
 // Scheduler is the batch inference scheduler plus the simulated GPU
-// executor: one actor that cuts batches and charges virtual time per step.
+// executors: one actor per replica that cuts batches and charges virtual
+// time per step, fed by a dispatcher.
 type Scheduler struct {
-	clk    *simclock.Clock
-	models map[string]model.CostModel
-	policy Policy
-	queue  *simclock.Queue[*call]
+	clk        *simclock.Clock
+	models     map[string]model.CostModel
+	policy     Policy
+	dispatcher Dispatcher
+	replicas   []*replica
+	delayHist  *metrics.Histogram // aggregate queue delay across replicas
 
-	mu        sync.Mutex
-	lastArr   time.Duration
-	haveArr   bool
-	ewmaGap   float64 // seconds
-	calls     int64
-	tokens    int64
-	batches   int64
-	steps     int64
-	batchW    metrics.Welford
-	tokensW   metrics.Welford
-	busy      time.Duration
-	delayHist *metrics.Histogram
+	mu     sync.Mutex
+	calls  int64
+	tokens int64
 }
 
-// New starts a scheduler actor on clk.
+// replica is one simulated GPU executor with its own batching loop.
+type replica struct {
+	id    int
+	s     *Scheduler
+	queue *simclock.Queue[*call]
+
+	mu           sync.Mutex
+	queuedTokens int           // tokens of calls waiting in queue
+	inflight     int           // tokens of the batch currently executing
+	busyUntil    time.Duration // end of the current GPU step, 0 when idle
+	lastArr      time.Duration
+	haveArr      bool
+	ewmaGap      float64 // seconds, over arrivals dispatched here
+	calls        int64
+	tokens       int64
+	batches      int64
+	steps        int64
+	batchW       metrics.Welford
+	tokensW      metrics.Welford
+	busy         time.Duration
+	delayHist    *metrics.Histogram
+}
+
+// New starts a scheduler and its replica actors on clk.
 func New(clk *simclock.Clock, cfg Config) *Scheduler {
 	if cfg.Policy == nil {
 		cfg.Policy = DefaultPoisson()
 	}
-	s := &Scheduler{
-		clk:       clk,
-		models:    cfg.Models,
-		policy:    cfg.Policy,
-		queue:     simclock.NewQueue[*call](clk),
-		delayHist: metrics.NewHistogram(),
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
 	}
-	clk.Go("inference-scheduler", s.loop)
+	if cfg.Dispatcher == nil {
+		cfg.Dispatcher = NewRoundRobin()
+	}
+	s := &Scheduler{
+		clk:        clk,
+		models:     cfg.Models,
+		policy:     cfg.Policy,
+		dispatcher: cfg.Dispatcher,
+		delayHist:  metrics.NewHistogram(),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		r := &replica{
+			id:        i,
+			s:         s,
+			queue:     simclock.NewQueue[*call](clk),
+			delayHist: metrics.NewHistogram(),
+		}
+		s.replicas = append(s.replicas, r)
+		clk.Go(fmt.Sprintf("inference-scheduler-%d", i), r.loop)
+	}
 	return s
 }
 
-// QueueDelay exposes the histogram of time calls spent queued before their
-// batch was cut.
+// Replicas reports the number of GPU executors.
+func (s *Scheduler) Replicas() int { return len(s.replicas) }
+
+// Dispatcher reports the active dispatch policy's name.
+func (s *Scheduler) Dispatcher() string { return s.dispatcher.Name() }
+
+// QueueDelay exposes the aggregate histogram of time calls spent queued
+// before their batch was cut, across all replicas.
 func (s *Scheduler) QueueDelay() *metrics.Histogram { return s.delayHist }
 
-// Stats returns a snapshot of counters.
+// ReplicaQueueDelay exposes replica i's queue-delay histogram.
+func (s *Scheduler) ReplicaQueueDelay(i int) *metrics.Histogram {
+	return s.replicas[i].delayHist
+}
+
+// Stats returns a snapshot of counters, aggregate and per replica.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clk.Now()
 	st := Stats{
-		Calls:     s.calls,
-		Tokens:    s.tokens,
-		Batches:   s.batches,
-		Steps:     s.steps,
-		AvgBatch:  s.batchW.Mean(),
-		AvgTokens: s.tokensW.Mean(),
-		GPUBusy:   s.busy,
+		Calls:      s.calls,
+		Tokens:     s.tokens,
+		Dispatcher: s.dispatcher.Name(),
 	}
-	if now > 0 {
-		st.Utilization = float64(s.busy) / float64(now)
+	s.mu.Unlock()
+
+	var batchSum, batchN, tokSum float64
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		// Read the clock while holding r.mu: busy is frozen, so it cannot
+		// run ahead of now and utilization stays <= 1.
+		rNow := s.clk.Now()
+		rs := ReplicaStats{
+			ID:        r.id,
+			Calls:     r.calls,
+			Tokens:    r.tokens,
+			Batches:   r.batches,
+			Steps:     r.steps,
+			AvgBatch:  r.batchW.Mean(),
+			AvgTokens: r.tokensW.Mean(),
+			GPUBusy:   r.busy,
+		}
+		batchSum += r.batchW.Sum()
+		batchN += float64(r.batchW.N())
+		tokSum += r.tokensW.Sum()
+		r.mu.Unlock()
+		if rNow > 0 {
+			rs.Utilization = float64(rs.GPUBusy) / float64(rNow)
+		}
+		rs.DelayMean = r.delayHist.Mean()
+		rs.DelayP99 = r.delayHist.Quantile(0.99)
+		st.Batches += rs.Batches
+		st.Steps += rs.Steps
+		st.GPUBusy += rs.GPUBusy
+		st.Replicas = append(st.Replicas, rs)
+	}
+	if batchN > 0 {
+		st.AvgBatch = batchSum / batchN
+		st.AvgTokens = tokSum / batchN
+	}
+	// This read is no earlier than any per-replica read above, so each
+	// summed busy term is bounded by it and the mean stays <= 1.
+	if now := s.clk.Now(); now > 0 {
+		st.Utilization = float64(st.GPUBusy) / float64(now) / float64(len(s.replicas))
 	}
 	return st
 }
@@ -195,56 +303,97 @@ func (s *Scheduler) Stats() Stats {
 // completes. This is the transition the paper describes as moving the
 // thread into the "inference pool".
 func (s *Scheduler) Submit(modelName string, newTokens int) error {
-	cost, ok := s.models[modelName]
-	if !ok {
-		return fmt.Errorf("sched: unknown model %q", modelName)
+	return s.SubmitCall(Call{Model: modelName, Tokens: newTokens})
+}
+
+// SubmitCall is Submit with full dispatch metadata: callers that know
+// their request's KV lineage pass an affinity key so cache-aware
+// dispatchers can route forks of one conversation to the replica holding
+// their shared prefix.
+func (s *Scheduler) SubmitCall(meta Call) error {
+	if _, ok := s.models[meta.Model]; !ok {
+		return fmt.Errorf("sched: unknown model %q", meta.Model)
 	}
-	if newTokens <= 0 {
-		return fmt.Errorf("sched: nonpositive token count %d", newTokens)
+	if meta.Tokens <= 0 {
+		return fmt.Errorf("sched: nonpositive token count %d", meta.Tokens)
 	}
-	_ = cost
 	now := s.clk.Now()
 	s.mu.Lock()
-	if s.haveArr {
-		gap := (now - s.lastArr).Seconds()
-		const alpha = 0.2
-		s.ewmaGap = alpha*gap + (1-alpha)*s.ewmaGap
-	}
-	s.lastArr = now
-	s.haveArr = true
 	s.calls++
-	s.tokens += int64(newTokens)
+	s.tokens += int64(meta.Tokens)
 	s.mu.Unlock()
 
-	c := &call{model: modelName, tokens: newTokens, queuedAt: now, done: s.clk.NewEvent()}
-	s.queue.Put(c)
+	r := s.route(meta, now)
+	r.mu.Lock()
+	if r.haveArr {
+		gap := (now - r.lastArr).Seconds()
+		const alpha = 0.2
+		r.ewmaGap = alpha*gap + (1-alpha)*r.ewmaGap
+	}
+	r.lastArr = now
+	r.haveArr = true
+	r.calls++
+	r.tokens += int64(meta.Tokens)
+	r.queuedTokens += meta.Tokens
+	r.mu.Unlock()
+
+	c := &call{model: meta.Model, tokens: meta.Tokens, queuedAt: now, done: s.clk.NewEvent()}
+	r.queue.Put(c)
 	return c.done.Wait()
 }
 
-func (s *Scheduler) estimate(queued int) Estimate {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// route asks the dispatcher for a replica, clamping out-of-range answers.
+func (s *Scheduler) route(meta Call, now time.Duration) *replica {
+	if len(s.replicas) == 1 {
+		return s.replicas[0]
+	}
+	views := make([]ReplicaView, len(s.replicas))
+	for i, r := range s.replicas {
+		r.mu.Lock()
+		views[i] = ReplicaView{
+			ID:             i,
+			Queued:         r.queue.Len(),
+			QueuedTokens:   r.queuedTokens,
+			InflightTokens: r.inflight,
+			BusyUntil:      r.busyUntil,
+			Now:            now,
+		}
+		r.mu.Unlock()
+	}
+	idx := s.dispatcher.Pick(meta, views)
+	if idx < 0 || idx >= len(s.replicas) {
+		idx = ((idx % len(s.replicas)) + len(s.replicas)) % len(s.replicas)
+	}
+	return s.replicas[idx]
+}
+
+// estimate builds the policy input for one replica: its own queue depth
+// and its own arrival-rate EWMA, so the batching window reflects the
+// load the dispatcher actually sends here.
+func (r *replica) estimate(queued int) Estimate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e := Estimate{Queued: queued}
-	if s.ewmaGap > 0 {
-		e.RatePerSec = 1 / s.ewmaGap
+	if r.ewmaGap > 0 {
+		e.RatePerSec = 1 / r.ewmaGap
 	}
 	return e
 }
 
-// loop is the scheduler actor: cut a batch, execute it, repeat.
-func (s *Scheduler) loop() {
+// loop is the replica actor: cut a batch, execute it, repeat.
+func (r *replica) loop() {
 	for {
-		first, err := s.queue.Get()
+		first, err := r.queue.Get()
 		if err != nil {
 			return
 		}
-		if w := s.policy.Window(s.estimate(1 + s.queue.Len())); w > 0 {
-			if err := s.clk.Sleep(w); err != nil {
+		if w := r.s.policy.Window(r.estimate(1 + r.queue.Len())); w > 0 {
+			if err := r.s.clk.Sleep(w); err != nil {
 				return
 			}
 		}
-		batch := append([]*call{first}, s.queue.Drain()...)
-		if err := s.execute(batch); err != nil {
+		batch := append([]*call{first}, r.queue.Drain()...)
+		if err := r.execute(batch); err != nil {
 			return
 		}
 	}
@@ -253,20 +402,28 @@ func (s *Scheduler) loop() {
 // execute charges GPU time for one cut batch. Calls are grouped by model
 // (a forward pass runs one model) and each group is split into steps that
 // respect the model's MaxBatchTokens.
-func (s *Scheduler) execute(batch []*call) error {
+func (r *replica) execute(batch []*call) error {
+	s := r.s
 	start := s.clk.Now()
-	for _, c := range batch {
-		s.delayHist.Add(start - c.queuedAt)
-	}
-	s.mu.Lock()
-	s.batches++
-	s.batchW.Add(float64(len(batch)))
 	var totTok int
 	for _, c := range batch {
 		totTok += c.tokens
+		r.delayHist.Add(start - c.queuedAt)
+		s.delayHist.Add(start - c.queuedAt)
 	}
-	s.tokensW.Add(float64(totTok))
-	s.mu.Unlock()
+	r.mu.Lock()
+	r.batches++
+	r.batchW.Add(float64(len(batch)))
+	r.tokensW.Add(float64(totTok))
+	r.queuedTokens -= totTok
+	r.inflight = totTok
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.inflight = 0
+		r.busyUntil = 0
+		r.mu.Unlock()
+	}()
 
 	// Group by model, preserving arrival order within each group.
 	groups := make(map[string][]*call)
@@ -283,6 +440,7 @@ func (s *Scheduler) execute(batch []*call) error {
 		for len(pending) > 0 {
 			var step []*call
 			var stepCalls []model.BatchCall
+			var stepTok int
 			budget := cost.MaxBatchTokens
 			for len(pending) > 0 {
 				c := pending[0]
@@ -292,16 +450,21 @@ func (s *Scheduler) execute(batch []*call) error {
 				step = append(step, c)
 				stepCalls = append(stepCalls, model.BatchCall{NewTokens: c.tokens})
 				budget -= c.tokens
+				stepTok += c.tokens
 				pending = pending[1:]
 			}
 			d := cost.StepTime(stepCalls)
+			r.mu.Lock()
+			r.busyUntil = s.clk.Now() + d
+			r.mu.Unlock()
 			if err := s.clk.Sleep(d); err != nil {
 				return err
 			}
-			s.mu.Lock()
-			s.busy += d
-			s.steps++
-			s.mu.Unlock()
+			r.mu.Lock()
+			r.busy += d
+			r.steps++
+			r.inflight -= stepTok
+			r.mu.Unlock()
 			for _, c := range step {
 				c.done.Fire()
 			}

@@ -67,6 +67,20 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	st := s.k.Stats()
+	replicas := make([]map[string]any, 0, len(st.Sched.Replicas))
+	for _, rs := range st.Sched.Replicas {
+		replicas = append(replicas, map[string]any{
+			"id":             rs.ID,
+			"calls":          rs.Calls,
+			"tokens":         rs.Tokens,
+			"batches":        rs.Batches,
+			"steps":          rs.Steps,
+			"avg_batch":      rs.AvgBatch,
+			"utilization":    rs.Utilization,
+			"busy_virtual":   rs.GPUBusy.String(),
+			"queue_delay_us": rs.DelayMean.Microseconds(),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"processes":    st.Processes,
@@ -79,6 +93,9 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		"gpu_page_cap": st.FS.GPUPageCap,
 		"gpu_busy":     st.Sched.Utilization,
 		"avg_batch":    st.Sched.AvgBatch,
+		"gpus":         len(st.Sched.Replicas),
+		"dispatcher":   st.Sched.Dispatcher,
+		"replicas":     replicas,
 		"virtual_time": s.clk.Now().String(),
 	})
 }

@@ -21,8 +21,10 @@ func newServer(t *testing.T) (*Server, *simclock.Clock) {
 	// preserving pacing semantics.
 	clk := simclock.NewRealtime(10000)
 	k := core.New(clk, core.Config{
-		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
-		Policy: sched.Immediate{},
+		Models:     map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		Policy:     sched.Immediate{},
+		Replicas:   2,
+		Dispatcher: sched.LeastLoaded{},
 	})
 	k.RegisterTool("echo", core.Tool{
 		Latency: 10 * time.Millisecond,
@@ -66,6 +68,27 @@ func TestHealthAndStats(t *testing.T) {
 	resp.Body.Close()
 	if _, ok := st["gpu_page_cap"]; !ok {
 		t.Fatalf("stats missing fields: %v", st)
+	}
+	if got := st["gpus"]; got != float64(2) {
+		t.Fatalf("gpus = %v, want 2", got)
+	}
+	if got := st["dispatcher"]; got != "least-loaded" {
+		t.Fatalf("dispatcher = %v", got)
+	}
+	replicas, ok := st["replicas"].([]any)
+	if !ok || len(replicas) != 2 {
+		t.Fatalf("replicas rollup missing: %v", st["replicas"])
+	}
+	for i, r := range replicas {
+		m, ok := r.(map[string]any)
+		if !ok {
+			t.Fatalf("replica %d not an object: %v", i, r)
+		}
+		for _, field := range []string{"id", "calls", "utilization", "avg_batch", "queue_delay_us"} {
+			if _, ok := m[field]; !ok {
+				t.Fatalf("replica %d missing %q: %v", i, field, m)
+			}
+		}
 	}
 }
 
