@@ -6,9 +6,15 @@
 //
 //	lip-run -demo chat -prompt "hello there" -tokens 48
 //	lip-run -demo parallel -speedup 20
+//	lip-run -remote http://localhost:8080 -script examples/wire/stream.json
 //
 // Demos: chat (plain completion), parallel (Figure 2 shared-prefix
 // branches), agent (server-side tool calls), json (grammar-constrained).
+//
+// With -remote, the script is submitted to a running symphonyd as an
+// asynchronous v2 job and its events (statements, token chunks, emits,
+// terminal status) stream back live; Ctrl-C cancels the server-side
+// process instead of abandoning it.
 package main
 
 import (
@@ -38,7 +44,20 @@ func main() {
 	speedup := flag.Float64("speedup", 0, "pace virtual time at this multiple of wall time (0 = run instantly)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (open in chrome://tracing)")
 	script := flag.String("script", "", "run a declarative lipscript JSON file instead of a built-in demo (see examples/wire/agent.json)")
+	remote := flag.String("remote", "", "submit -script to a running symphonyd at this URL as a v2 job and stream its events")
+	remoteUser := flag.String("user", "lip-run", "tenant name for -remote submissions")
+	cancelAfter := flag.Duration("cancel-after", 0, "with -remote, cancel the job after this wall-clock delay (0 = never)")
 	flag.Parse()
+
+	if *remote != "" {
+		if *script == "" {
+			log.Fatal("-remote requires -script (only declarative programs cross the network)")
+		}
+		if err := runRemote(*remote, *remoteUser, *script, *cancelAfter); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var clk *simclock.Clock
 	if *speedup > 0 {

@@ -1,7 +1,10 @@
 // Command symphonyd serves a Symphony kernel over HTTP — Figure 1
 // (bottom) as a runnable daemon. Clients ship declarative LIPs (lipscript
-// JSON) to /v1/programs; the legacy /v1/completions endpoint wraps a
-// prompt in a trivial program. The kernel runs against the simulated
+// JSON) as asynchronous jobs to the v2 API: POST /v2/programs returns a
+// job ID immediately, GET /v2/programs/{id}/events streams progress as
+// Server-Sent Events, and DELETE /v2/programs/{id} cancels. The
+// synchronous /v1/programs and /v1/completions endpoints are thin
+// wrappers over the same job layer. The kernel runs against the simulated
 // model on a realtime-paced virtual clock, so observed latencies follow
 // the A100/13B cost model.
 //
@@ -12,8 +15,10 @@
 // utilization is reported by /v1/stats.
 //
 //	symphonyd -addr :8080 -speedup 1 -gpus 4 -dispatch cache-affinity
+//	curl -s -X POST localhost:8080/v2/programs -d @examples/wire/stream.json
+//	curl -sN localhost:8080/v2/programs/job-000001/events
+//	curl -s -X DELETE localhost:8080/v2/programs/job-000001
 //	curl -s localhost:8080/v1/completions -d '{"prompt":"hi","max_tokens":16}'
-//	curl -s localhost:8080/v1/programs -d @examples/wire/agent.json
 //	curl -s localhost:8080/v1/stats
 package main
 
@@ -38,6 +43,9 @@ func main() {
 	gpus := flag.Int("gpus", 1, "number of simulated GPU replicas")
 	dispatch := flag.String("dispatch", "round-robin",
 		"replica dispatch policy ("+strings.Join(sched.DispatcherNames(), "|")+")")
+	maxJobs := flag.Int("max-jobs-per-user", 32, "cap on a tenant's concurrently live jobs")
+	retention := flag.Duration("job-retention", 10*time.Minute,
+		"how long finished jobs stay pollable (virtual time)")
 	flag.Parse()
 
 	dispatcher, err := sched.NewDispatcher(*dispatch)
@@ -65,9 +73,13 @@ func main() {
 		Fn:      func(args string) (string, error) { return fmt.Sprintf("weather(%s)=fair", args), nil },
 	})
 
+	srv := server.NewWith(clk, kernel, server.Options{
+		MaxJobsPerUser: *maxJobs,
+		Retention:      *retention,
+	})
 	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch",
 		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher())
-	if err := http.ListenAndServe(*addr, server.New(clk, kernel)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -52,11 +52,29 @@ func (c *Ctx) Tokenize(s string) []token.ID { return c.p.k.tok.Encode(s) }
 // Detokenize converts token IDs back to text.
 func (c *Ctx) Detokenize(ids []token.ID) string { return c.p.k.tok.Decode(ids) }
 
-// Emit appends text to the process output stream.
+// Emit appends text to the process output stream and publishes it as an
+// emit event to process subscribers. Write and publish happen under one
+// lock so the event order always matches the output order, even across
+// threads.
 func (c *Ctx) Emit(s string) {
 	c.p.mu.Lock()
-	defer c.p.mu.Unlock()
 	c.p.out.WriteString(s)
+	c.p.publish(ProcEvent{Kind: EventEmit, Text: s})
+	c.p.mu.Unlock()
+}
+
+// PublishToken streams an incremental generated-text chunk to process
+// subscribers without touching the output stream; the generating
+// statement emits (or stores) the full text when it completes.
+func (c *Ctx) PublishToken(text string) {
+	c.p.publish(ProcEvent{Kind: EventToken, Text: text})
+}
+
+// PublishStatement brackets an interpreter statement for observers: phase
+// is "start" or "end", op and index identify the statement, and detail is
+// optional free text.
+func (c *Ctx) PublishStatement(index int, op, phase, detail string) {
+	c.p.publish(ProcEvent{Kind: EventStatement, Op: op, Index: index, Phase: phase, Text: detail})
 }
 
 // EmitTokens decodes and emits token IDs.

@@ -39,13 +39,19 @@ import (
 	"repro/internal/trace"
 )
 
-// Errors returned by kernel system calls.
+// Errors returned by kernel system calls. These are the kernel half of
+// the serving API's typed error taxonomy: the HTTP layer maps each to a
+// stable machine-readable code and status (internal/server).
 var (
 	ErrNoModel   = errors.New("core: unknown model")
 	ErrNoTool    = errors.New("core: unknown tool")
 	ErrNoProcess = errors.New("core: no such process")
 	ErrBudget    = errors.New("core: token budget exhausted")
 	ErrCancelled = errors.New("core: process cancelled")
+	// ErrQuota is the multi-tenant variant of ErrBudget: the user's
+	// aggregate cross-process quota is exhausted. It wraps ErrBudget so
+	// errors.Is(err, ErrBudget) still matches.
+	ErrQuota = fmt.Errorf("%w (user quota)", ErrBudget)
 )
 
 // Tool is an external interaction registered with the kernel and executed
@@ -212,7 +218,7 @@ func (k *Kernel) chargeUser(user string, n int) error {
 	defer k.mu.Unlock()
 	if q, ok := k.quotas[user]; ok {
 		if k.userUsage[user]+int64(n) > q {
-			return fmt.Errorf("%w: user %s over quota %d", ErrBudget, user, q)
+			return fmt.Errorf("%w: user %s over quota %d", ErrQuota, user, q)
 		}
 	}
 	k.userUsage[user] += int64(n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,6 +35,7 @@ type Process struct {
 	mailbox *simclock.Queue[Message]
 	wg      *simclock.WaitGroup
 	done    *simclock.Event
+	events  *eventHub
 
 	mu         sync.Mutex
 	out        strings.Builder
@@ -70,11 +72,13 @@ func (k *Kernel) SubmitWith(user string, prog Program, opts SubmitOptions) *Proc
 		mailbox:   simclock.NewQueue[Message](k.clk),
 		wg:        k.clk.NewWaitGroup(),
 		done:      k.clk.NewEvent(),
+		events:    newEventHub(),
 		startedAt: k.clk.Now(),
 	}
 	k.procs[p.pid] = p
 	k.mu.Unlock()
 	k.procsStarted.Inc()
+	p.publish(ProcEvent{Kind: EventStatus, Status: StatusRunning})
 
 	p.wg.Add(1)
 	k.gauge(stateDone, stateRunning) // stateDone acts as "outside"
@@ -118,7 +122,73 @@ func (p *Process) finish(err error) {
 		At: started, Dur: k.clk.Now() - started, PID: p.pid,
 		Kind: trace.KindProcess, Detail: p.user,
 	})
+	final := ProcEvent{Kind: EventStatus, Status: p.Status(), Final: true}
+	if perr := p.Err(); perr != nil {
+		final.Err = perr.Error()
+	}
+	p.events.publishFinal(p.stamp(final))
 	p.done.Fire()
+}
+
+// stamp fills an event's publish time and process identity.
+func (p *Process) stamp(e ProcEvent) ProcEvent {
+	e.At = p.k.clk.Now()
+	e.PID = p.pid
+	return e
+}
+
+// publish stamps and fans out a process event. It takes the clock and
+// hub locks but never p.mu, so callers may hold p.mu to order events
+// with state they are mutating.
+func (p *Process) publish(e ProcEvent) {
+	p.events.publish(p.stamp(e))
+}
+
+// Subscribe attaches an observer to the process event stream, replaying
+// retained history with Seq >= from (0 replays everything retained). The
+// caller must Close the subscription and must not consume it from a clock
+// actor.
+func (p *Process) Subscribe(from int64) *Subscription {
+	return p.events.subscribe(from)
+}
+
+// Status reports the process lifecycle state: running or cancelling while
+// live; done, failed, or cancelled once finished.
+func (p *Process) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.finished {
+		if p.cancelled {
+			return StatusCancelling
+		}
+		return StatusRunning
+	}
+	switch {
+	case p.err == nil:
+		return StatusDone
+	case errors.Is(p.err, ErrCancelled):
+		return StatusCancelled
+	default:
+		return StatusFailed
+	}
+}
+
+// Err returns the process error once it has finished, and nil before.
+func (p *Process) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.finished {
+		return nil
+	}
+	return p.err
+}
+
+// EndedAt reports the virtual time the process exited; ok is false while
+// it is still live.
+func (p *Process) EndedAt() (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.endedAt, p.finished
 }
 
 // PID returns the process ID.
@@ -149,8 +219,19 @@ func (p *Process) Done() bool {
 // the process fails with ErrCancelled.
 func (p *Process) Cancel() {
 	p.mu.Lock()
+	already := p.cancelled || p.finished
 	p.cancelled = true
 	p.mu.Unlock()
+	if !already {
+		p.publish(ProcEvent{Kind: EventStatus, Status: StatusCancelling})
+	}
+}
+
+// CancelRequested reports whether Cancel has been called.
+func (p *Process) CancelRequested() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cancelled
 }
 
 // Output returns everything the process has emitted so far.

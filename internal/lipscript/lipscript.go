@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kvfs"
 	"repro/internal/lip"
+	"repro/internal/token"
 )
 
 // Op enumerates statement kinds.
@@ -192,99 +193,121 @@ func (s *Script) Program() core.Program {
 			fail := func(err error) error {
 				return fmt.Errorf("lipscript: step %d (%s): %w", i, st.Op, err)
 			}
-			switch st.Op {
-			case OpAnon:
-				f, err := ctx.KvAnon()
-				if err != nil {
-					return fail(err)
-				}
-				sessions[st.S] = lip.NewSession(ctx, f)
-			case OpCreate:
-				f, err := ctx.KvCreate(expand(st.Path), kvfs.WorldRead|kvfs.WorldWrite)
-				if errors.Is(err, kvfs.ErrExist) {
-					f, err = ctx.KvOpen(expand(st.Path), true)
-				}
-				if err != nil {
-					return fail(err)
-				}
-				sessions[st.S] = lip.NewSession(ctx, f)
-			case OpOpen:
-				f, err := ctx.KvOpen(expand(st.Path), st.Write)
-				if err != nil {
-					return fail(err)
-				}
-				sessions[st.S] = lip.NewSession(ctx, f)
-			case OpFork:
-				src := sessions[st.From]
-				fk, err := src.Fork()
-				if err != nil {
-					return fail(err)
-				}
-				sessions[st.S] = fk
-			case OpLock:
-				if err := ctx.KvLock(sessions[st.S].KV()); err != nil {
-					return fail(err)
-				}
-			case OpUnlock:
-				if err := ctx.KvUnlock(sessions[st.S].KV()); err != nil {
-					return fail(err)
-				}
-			case OpPrefill:
-				if _, err := sessions[st.S].Prefill(expand(st.Text)); err != nil {
-					return fail(err)
-				}
-			case OpPrefillIfEmpty:
-				if sessions[st.S].KV().Len() == 0 {
-					if _, err := sessions[st.S].Prefill(expand(st.Text)); err != nil {
-						return fail(err)
-					}
-				}
-			case OpGenerate:
-				sess := sessions[st.S]
-				if _, ok := sess.Last(); !ok {
-					// A fork of a built cache file carries no pending
-					// distribution; re-prime from its tail context.
-					if _, err := sess.Prefill(" "); err != nil {
-						return fail(err)
-					}
-				}
-				var sampler *lip.Sampler
-				if st.Temperature > 0 {
-					sampler = &lip.Sampler{Temperature: st.Temperature, Seed: st.Seed}
-				}
-				res, err := lip.Generate(sess, lip.GenOptions{MaxTokens: st.MaxTokens, Sampler: sampler})
-				if err != nil {
-					return fail(err)
-				}
-				text := ctx.Detokenize(res.Tokens)
-				if st.Out != "" {
-					vars[st.Out] = text
-				} else {
-					ctx.Emit(text)
-				}
-			case OpCall:
-				res, err := ctx.Call(st.Tool, expand(st.Text))
-				if err != nil {
-					return fail(err)
-				}
-				if st.Out != "" {
-					vars[st.Out] = res
-				}
-			case OpEmit:
-				ctx.Emit(expand(st.Text))
-			case OpRemove:
-				if err := sessions[st.S].Close(); err != nil {
-					return fail(err)
-				}
-				delete(sessions, st.S)
-			case OpLink:
-				if err := ctx.KvLink(sessions[st.S].KV(), expand(st.Path)); err != nil {
-					return fail(err)
-				}
+			// Each statement is bracketed by start/end events so v2
+			// subscribers can follow the program as it runs.
+			ctx.PublishStatement(i, string(st.Op), "start", "")
+			if err := execStmt(ctx, st, sessions, vars, expand, fail); err != nil {
+				return err
 			}
+			ctx.PublishStatement(i, string(st.Op), "end", "")
 		}
 		return nil
 	}
+}
+
+// execStmt interprets one statement against the session and variable
+// environment.
+func execStmt(ctx *core.Ctx, st Stmt, sessions map[string]*lip.Session,
+	vars map[string]string, expand func(string) string, fail func(error) error) error {
+	switch st.Op {
+	case OpAnon:
+		f, err := ctx.KvAnon()
+		if err != nil {
+			return fail(err)
+		}
+		sessions[st.S] = lip.NewSession(ctx, f)
+	case OpCreate:
+		f, err := ctx.KvCreate(expand(st.Path), kvfs.WorldRead|kvfs.WorldWrite)
+		if errors.Is(err, kvfs.ErrExist) {
+			f, err = ctx.KvOpen(expand(st.Path), true)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		sessions[st.S] = lip.NewSession(ctx, f)
+	case OpOpen:
+		f, err := ctx.KvOpen(expand(st.Path), st.Write)
+		if err != nil {
+			return fail(err)
+		}
+		sessions[st.S] = lip.NewSession(ctx, f)
+	case OpFork:
+		src := sessions[st.From]
+		fk, err := src.Fork()
+		if err != nil {
+			return fail(err)
+		}
+		sessions[st.S] = fk
+	case OpLock:
+		if err := ctx.KvLock(sessions[st.S].KV()); err != nil {
+			return fail(err)
+		}
+	case OpUnlock:
+		if err := ctx.KvUnlock(sessions[st.S].KV()); err != nil {
+			return fail(err)
+		}
+	case OpPrefill:
+		if _, err := sessions[st.S].Prefill(expand(st.Text)); err != nil {
+			return fail(err)
+		}
+	case OpPrefillIfEmpty:
+		if sessions[st.S].KV().Len() == 0 {
+			if _, err := sessions[st.S].Prefill(expand(st.Text)); err != nil {
+				return fail(err)
+			}
+		}
+	case OpGenerate:
+		sess := sessions[st.S]
+		if _, ok := sess.Last(); !ok {
+			// A fork of a built cache file carries no pending
+			// distribution; re-prime from its tail context.
+			if _, err := sess.Prefill(" "); err != nil {
+				return fail(err)
+			}
+		}
+		var sampler *lip.Sampler
+		if st.Temperature > 0 {
+			sampler = &lip.Sampler{Temperature: st.Temperature, Seed: st.Seed}
+		}
+		res, err := lip.Generate(sess, lip.GenOptions{
+			MaxTokens: st.MaxTokens,
+			Sampler:   sampler,
+			// Stream each committed token to subscribers so a v2
+			// client observes generation incrementally.
+			Stream: func(t token.ID) {
+				ctx.PublishToken(ctx.Detokenize([]token.ID{t}))
+			},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		text := ctx.Detokenize(res.Tokens)
+		if st.Out != "" {
+			vars[st.Out] = text
+		} else {
+			ctx.Emit(text)
+		}
+	case OpCall:
+		res, err := ctx.Call(st.Tool, expand(st.Text))
+		if err != nil {
+			return fail(err)
+		}
+		if st.Out != "" {
+			vars[st.Out] = res
+		}
+	case OpEmit:
+		ctx.Emit(expand(st.Text))
+	case OpRemove:
+		if err := sessions[st.S].Close(); err != nil {
+			return fail(err)
+		}
+		delete(sessions, st.S)
+	case OpLink:
+		if err := ctx.KvLink(sessions[st.S].KV(), expand(st.Path)); err != nil {
+			return fail(err)
+		}
+	}
+	return nil
 }
 
 // Submit parses, validates, and starts a script on the kernel for user,

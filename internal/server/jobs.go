@@ -1,0 +1,146 @@
+// The job registry is the server's unit of tenancy around kernel
+// processes. Submitting a program — through v2 or through the synchronous
+// v1 wrappers — creates a Job wrapping the core.Process, enforces a
+// per-tenant cap on concurrently live jobs, and retains finished jobs for
+// a window of *virtual* time so clients can poll terminal status and
+// output after completion. Expiry is swept lazily against the kernel
+// clock on every registry operation, so the registry adds no actors to
+// the simulation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lipscript"
+	"repro/internal/simclock"
+)
+
+// Registry errors, mapped by errorCode to not_found / quota_exhausted.
+var (
+	errJobNotFound = errors.New("server: no such job")
+	errJobQuota    = errors.New("server: tenant job quota exceeded")
+)
+
+// Job is one submitted program tracked by the registry.
+type Job struct {
+	ID   string
+	User string
+	Proc *core.Process
+	// SubmittedAt is the virtual submission time.
+	SubmittedAt time.Duration
+}
+
+// jobRegistry indexes live and recently finished jobs.
+type jobRegistry struct {
+	clk        *simclock.Clock
+	k          *core.Kernel
+	maxPerUser int
+	retention  time.Duration
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+func newJobRegistry(clk *simclock.Clock, k *core.Kernel, maxPerUser int, retention time.Duration) *jobRegistry {
+	if maxPerUser <= 0 {
+		maxPerUser = 32
+	}
+	if retention <= 0 {
+		retention = 10 * time.Minute
+	}
+	return &jobRegistry{
+		clk:        clk,
+		k:          k,
+		maxPerUser: maxPerUser,
+		retention:  retention,
+		jobs:       make(map[string]*Job),
+	}
+}
+
+// sweepLocked drops jobs that finished more than retention of virtual
+// time ago. Caller holds r.mu.
+func (r *jobRegistry) sweepLocked() {
+	now := r.clk.Now()
+	for id, j := range r.jobs {
+		if ended, ok := j.Proc.EndedAt(); ok && now-ended > r.retention {
+			delete(r.jobs, id)
+		}
+	}
+}
+
+// liveCountLocked counts the user's not-yet-finished jobs. Caller holds
+// r.mu.
+func (r *jobRegistry) liveCountLocked(user string) int {
+	n := 0
+	for _, j := range r.jobs {
+		if j.User == user && !j.Proc.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit enforces the tenant's live-job quota and starts the program as
+// a registered job. The quota check and registration happen under one
+// lock so concurrent submissions cannot both slip under the cap; holding
+// r.mu across SubmitWith is safe because the kernel never calls back
+// into the registry.
+func (r *jobRegistry) Submit(user string, script *lipscript.Script) (*Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	if r.liveCountLocked(user) >= r.maxPerUser {
+		return nil, fmt.Errorf("%w: user %s has %d live jobs", errJobQuota, user, r.maxPerUser)
+	}
+	p := r.k.SubmitWith(user, script.Program(), core.SubmitOptions{Budget: script.Budget})
+	j := &Job{
+		ID:          fmt.Sprintf("job-%06d", p.PID()),
+		User:        user,
+		Proc:        p,
+		SubmittedAt: r.clk.Now(),
+	}
+	r.jobs[j.ID] = j
+	return j, nil
+}
+
+// Get returns a job by ID, honoring retention.
+func (r *jobRegistry) Get(id string) (*Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	j, ok := r.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", errJobNotFound, id)
+	}
+	return j, nil
+}
+
+// Cancel requests cooperative termination of a job's process.
+func (r *jobRegistry) Cancel(id string) (*Job, error) {
+	j, err := r.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.Proc.Cancel()
+	return j, nil
+}
+
+// List returns the user's jobs, oldest first.
+func (r *jobRegistry) List(user string) []*Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	var out []*Job
+	for _, j := range r.jobs {
+		if j.User == user {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Proc.PID() < out[b].Proc.PID() })
+	return out
+}

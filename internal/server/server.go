@@ -2,6 +2,11 @@
 // shape of the paper's Figure 1 (bottom), where users ship programs to
 // the serving system instead of prompts.
 //
+// The v2 surface is job-oriented and streaming-first (see v2.go):
+// submission returns immediately with a job ID, progress streams as
+// Server-Sent Events, and DELETE cancels. The v1 endpoints survive as
+// thin synchronous wrappers over the same job layer:
+//
 //	POST /v1/programs     body: lipscript JSON       -> program output + accounting
 //	POST /v1/completions  body: {prompt,max_tokens}  -> legacy prompt API
 //	GET  /v1/stats                                    -> kernel counters
@@ -11,12 +16,16 @@
 // three-statement lipscript — under a program-serving architecture, a
 // prompt is just a degenerate program. The kernel runs on a realtime-paced
 // simulation clock, so latencies observed over HTTP reflect the cost
-// model.
+// model. Errors leave every endpoint with a stable machine-readable code
+// (see errors.go).
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -25,47 +34,143 @@ import (
 	"repro/internal/simclock"
 )
 
-// Server is the HTTP front-end.
-type Server struct {
-	clk *simclock.Clock
-	k   *core.Kernel
-	mux *http.ServeMux
+// Options tune the server's job layer and request limits. The zero value
+// selects defaults.
+type Options struct {
+	// MaxJobsPerUser caps a tenant's concurrently live jobs (default 32).
+	MaxJobsPerUser int
+	// Retention is how long finished jobs stay pollable, in virtual time
+	// (default 10m).
+	Retention time.Duration
+	// MaxBodyBytes caps POST bodies (default 1 MiB).
+	MaxBodyBytes int64
 }
 
-// New wraps a kernel. The kernel's clock must be realtime-paced
-// (simclock.NewRealtime) for HTTP callers to observe meaningful timing.
+// Server is the HTTP front-end.
+type Server struct {
+	clk     *simclock.Clock
+	k       *core.Kernel
+	mux     *http.ServeMux
+	jobs    *jobRegistry
+	maxBody int64
+}
+
+// New wraps a kernel with default options. The kernel's clock must be
+// realtime-paced (simclock.NewRealtime) for HTTP callers to observe
+// meaningful timing.
 func New(clk *simclock.Clock, k *core.Kernel) *Server {
-	s := &Server{clk: clk, k: k, mux: http.NewServeMux()}
+	return NewWith(clk, k, Options{})
+}
+
+// NewWith wraps a kernel with explicit options.
+func NewWith(clk *simclock.Clock, k *core.Kernel, o Options) *Server {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		clk:     clk,
+		k:       k,
+		mux:     http.NewServeMux(),
+		jobs:    newJobRegistry(clk, k, o.MaxJobsPerUser, o.Retention),
+		maxBody: o.MaxBodyBytes,
+	}
 	s.mux.HandleFunc("/healthz", s.health)
 	s.mux.HandleFunc("/v1/stats", s.stats)
 	s.mux.HandleFunc("/v1/programs", s.programs)
 	s.mux.HandleFunc("/v1/completions", s.completions)
+	s.mux.HandleFunc("/v2/programs", s.v2Collection)
+	s.mux.HandleFunc("/v2/programs/{id}", s.v2Job)
+	s.mux.HandleFunc("/v2/programs/{id}/events", s.v2EventsRoute)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// wait blocks the (non-actor) HTTP goroutine on process completion by
-// proxying through a clock actor.
-func (s *Server) wait(p *core.Process) error {
-	done := make(chan error, 1)
-	s.clk.Go("http-wait", func() { done <- p.Wait() })
-	return <-done
+// v2Collection dispatches /v2/programs by method.
+func (s *Server) v2Collection(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.v2Submit(w, r)
+	case http.MethodGet:
+		s.v2List(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST or GET required")
+	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) v2Job(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.v2Get(w, r)
+	case http.MethodDelete:
+		s.v2Cancel(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or DELETE required")
+	}
+}
+
+func (s *Server) v2EventsRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	s.v2Events(w, r)
+}
+
+// waitJob parks the HTTP goroutine until the job's process exits,
+// proxying through a clock actor. If the client disconnects first, the
+// process is cancelled so abandoned requests stop burning simulated GPU
+// time; the wait actor is then reclaimed by the cancelled process
+// finishing (or clock shutdown), never leaked.
+func (s *Server) waitJob(r *http.Request, j *Job) error {
+	done := make(chan error, 1)
+	s.clk.Go("http-wait", func() { done <- j.Proc.Wait() })
+	select {
+	case err := <-done:
+		return err
+	case <-r.Context().Done():
+		j.Proc.Cancel()
+		return <-done
+	}
+}
+
+// readBody enforces the body byte cap and requires a JSON object,
+// writing the typed error itself on failure.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.maxBody))
+		} else {
+			writeError(w, http.StatusBadRequest, CodeValidation, "reading body: "+err.Error())
+		}
+		return nil, false
+	}
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		writeError(w, http.StatusBadRequest, CodeValidation, "request body must be a JSON object")
+		return nil, false
+	}
+	return trimmed, true
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
 	st := s.k.Stats()
 	replicas := make([]map[string]any, 0, len(st.Sched.Replicas))
 	for _, rs := range st.Sched.Replicas {
@@ -104,9 +209,11 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 type programResponse struct {
 	Output      string `json:"output"`
 	PID         int    `json:"pid"`
+	JobID       string `json:"job_id"`
 	PredTokens  int64  `json:"pred_tokens"`
 	VirtualTime string `json:"virtual_time"`
 	Error       string `json:"error,omitempty"`
+	Code        string `json:"code,omitempty"`
 }
 
 // user resolves the requesting tenant (header-based; real deployments
@@ -118,22 +225,18 @@ func user(r *http.Request) string {
 	return "anonymous"
 }
 
+// programs is the synchronous v1 wrapper over the job layer: submit,
+// wait, reply with the whole output.
 func (s *Server) programs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
-	var body json.RawMessage
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	script, ok := s.decodeScript(w, r)
+	if !ok {
 		return
 	}
-	p, err := lipscript.Submit(s.k, user(r), body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	s.respond(w, p)
+	s.runSync(w, r, script)
 }
 
 // completionRequest is the legacy prompt API.
@@ -146,18 +249,22 @@ type completionRequest struct {
 
 func (s *Server) completions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	var req completionRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeError(w, http.StatusBadRequest, CodeValidation, "bad JSON: "+err.Error())
 		return
 	}
 	if req.Prompt == "" || req.MaxTokens <= 0 {
-		httpError(w, http.StatusBadRequest, "prompt and max_tokens required")
+		writeError(w, http.StatusBadRequest, CodeValidation, "prompt and max_tokens required")
 		return
 	}
 	// A prompt is a degenerate program: build it as one.
@@ -169,25 +276,33 @@ func (s *Server) completions(w http.ResponseWriter, r *http.Request) {
 		{Op: lipscript.OpRemove, S: "ctx"},
 	}}
 	if err := script.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeValidation, err.Error())
 		return
 	}
-	p := s.k.Submit(user(r), script.Program())
-	s.respond(w, p)
+	s.runSync(w, r, script)
 }
 
-func (s *Server) respond(w http.ResponseWriter, p *core.Process) {
-	err := s.wait(p)
+// runSync is the shared v1 code path: one job submitted through the same
+// registry v2 uses, awaited inline.
+func (s *Server) runSync(w http.ResponseWriter, r *http.Request, script *lipscript.Script) {
+	j, err := s.jobs.Submit(user(r), script)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	err = s.waitJob(r, j)
+	p := j.Proc
 	resp := programResponse{
 		Output:      p.Output(),
 		PID:         p.PID(),
+		JobID:       j.ID,
 		PredTokens:  p.PredTokens(),
 		VirtualTime: p.Runtime().Round(time.Microsecond).String(),
 	}
 	status := http.StatusOK
 	if err != nil {
 		resp.Error = err.Error()
-		status = http.StatusUnprocessableEntity
+		resp.Code, status = errorCode(err)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -1,0 +1,187 @@
+// v2 of the program-serving API treats a kernel process as an
+// asynchronous job, which is the natural HTTP shape for
+// programs-as-the-unit-of-service: submission returns immediately,
+// progress streams as Server-Sent Events, and cancellation is a DELETE.
+//
+//	POST   /v2/programs            lipscript JSON -> 202 {job_id, pid, ...}
+//	GET    /v2/programs?user=X     list the tenant's jobs
+//	GET    /v2/programs/{id}       poll status/output/accounting
+//	DELETE /v2/programs/{id}       cancel (cooperative, observable)
+//	GET    /v2/programs/{id}/events  SSE: status/statement/token/emit
+//
+// The event stream replays the process's retained history (ring of the
+// last 512 events; `?from=SEQ` or a Last-Event-ID header resumes after a
+// drop) and ends with the terminal status event (`final: true`).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lipscript"
+)
+
+// jobResponse is the v2 poll/submit reply.
+type jobResponse struct {
+	JobID       string      `json:"job_id"`
+	PID         int         `json:"pid"`
+	User        string      `json:"user"`
+	Status      core.Status `json:"status"`
+	Output      string      `json:"output,omitempty"`
+	PredTokens  int64       `json:"pred_tokens"`
+	VirtualTime string      `json:"virtual_time"`
+	Error       string      `json:"error,omitempty"`
+	Code        string      `json:"code,omitempty"`
+	EventsURL   string      `json:"events_url"`
+}
+
+func (s *Server) jobResponse(j *Job) jobResponse {
+	p := j.Proc
+	resp := jobResponse{
+		JobID:       j.ID,
+		PID:         p.PID(),
+		User:        j.User,
+		Status:      p.Status(),
+		Output:      p.Output(),
+		PredTokens:  p.PredTokens(),
+		VirtualTime: p.Runtime().Round(time.Microsecond).String(),
+		EventsURL:   fmt.Sprintf("/v2/programs/%s/events", j.ID),
+	}
+	if err := p.Err(); err != nil {
+		resp.Error = err.Error()
+		resp.Code, _ = errorCode(err)
+	}
+	return resp
+}
+
+// v2Submit handles POST /v2/programs: parse, register, 202.
+func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
+	script, ok := s.decodeScript(w, r)
+	if !ok {
+		return
+	}
+	j, err := s.jobs.Submit(user(r), script)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v2/programs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(s.jobResponse(j))
+}
+
+// v2Get handles GET /v2/programs/{id}: poll status and output so far.
+func (s *Server) v2Get(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.jobResponse(j))
+}
+
+// v2Cancel handles DELETE /v2/programs/{id}. Cancellation is cooperative:
+// the reply reports the status observed after the request (cancelling, or
+// a terminal state if the process already exited); clients confirm
+// termination by polling or watching the event stream.
+func (s *Server) v2Cancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(s.jobResponse(j))
+}
+
+// v2List handles GET /v2/programs?user=X (defaulting to the requesting
+// tenant): a summary of each retained job.
+func (s *Server) v2List(w http.ResponseWriter, r *http.Request) {
+	u := r.URL.Query().Get("user")
+	if u == "" {
+		u = user(r)
+	}
+	jobs := s.jobs.List(u)
+	out := make([]jobResponse, 0, len(jobs))
+	for _, j := range jobs {
+		resp := s.jobResponse(j)
+		resp.Output = "" // summaries stay light; poll the job for output
+		out = append(out, resp)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"user": u, "jobs": out})
+}
+
+// v2Events handles GET /v2/programs/{id}/events: the process event stream
+// as SSE. Each frame carries the event's sequence number as its SSE id,
+// its kind as the SSE event name, and the core.ProcEvent JSON as data.
+// The stream closes after the terminal event or when the client goes
+// away; unlike the sync v1 path, detaching does NOT cancel the job.
+func (s *Server) v2Events(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported")
+		return
+	}
+	from := int64(0)
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, _ = strconv.ParseInt(v, 10, 64)
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if id, err := strconv.ParseInt(v, 10, 64); err == nil {
+			from = id + 1
+		}
+	}
+	sub := j.Proc.Subscribe(from)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		ev, ok := sub.Next(r.Context().Done())
+		if !ok {
+			return
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+		flusher.Flush()
+		if ev.Final {
+			return
+		}
+	}
+}
+
+// decodeScript reads and validates a lipscript request body, writing the
+// typed error itself when validation fails. Bodies must be JSON objects;
+// a bare string or array is rejected before parsing.
+func (s *Server) decodeScript(w http.ResponseWriter, r *http.Request) (*lipscript.Script, bool) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return nil, false
+	}
+	script, err := lipscript.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeValidation, err.Error())
+		return nil, false
+	}
+	return script, true
+}
