@@ -10,7 +10,7 @@
 //	symphony-bench -exp scaling -gpus 1,2,4,8 -dispatch cache-affinity
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
-// tot, editor, batching, overhead, scaling, all.
+// tot, editor, batching, overhead, scaling, pressure, all.
 //
 // The scaling experiment sweeps the batch scheduler across simulated GPU
 // replica counts (-gpus, a comma-separated list) under a saturating
@@ -18,31 +18,56 @@
 // (round-robin, least-loaded, or cache-affinity); it reports virtual
 // throughput, speedup over one replica, and per-replica utilization
 // balance.
+//
+// The pressure experiment drives GPU KV memory to 2–4x oversubscription
+// and sweeps the kernel memory daemon's eviction policies (-kv-policy, a
+// comma-separated list; -kv-high-water sets the reclaim trigger),
+// reporting throughput, offload/restore counts, and the restored-token
+// cost each policy pays for evicting files that were still needed.
+//
+// The scaling and pressure experiments also write machine-readable
+// BENCH_scaling.json / BENCH_pressure.json artifacts into -json-dir
+// (default "."; empty disables), seeding the perf trajectory; see the
+// README for the schema.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/kvd"
 	"repro/internal/sched"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|scaling|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|scaling|pressure|all)")
 	quick := flag.Bool("quick", false, "use reduced grids for a fast pass")
 	gpus := flag.String("gpus", "", "comma-separated GPU replica counts for -exp scaling (default 1,2,4,8)")
 	dispatch := flag.String("dispatch", "",
 		"replica dispatch policy for -exp scaling ("+strings.Join(sched.DispatcherNames(), "|")+")")
+	kvPolicy := flag.String("kv-policy", "",
+		"comma-separated KV eviction policies for -exp pressure ("+strings.Join(kvd.PolicyNames(), "|")+"; default all)")
+	kvHighWater := flag.Float64("kv-high-water", 0,
+		"GPU usage fraction that triggers KV reclaim for -exp pressure (default 0.90)")
+	jsonDir := flag.String("json-dir", ".",
+		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure (empty disables)")
 	flag.Parse()
 
 	if _, err := sched.NewDispatcher(*dispatch); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	for _, p := range splitList(*kvPolicy) {
+		if _, err := kvd.NewPolicy(p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	start := time.Now()
@@ -60,7 +85,8 @@ func main() {
 		{"editor", runEditor},
 		{"batching", runBatching},
 		{"overhead", runOverhead},
-		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch) }},
+		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch, *jsonDir) }},
+		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -158,15 +184,15 @@ func runOverhead(quick bool) {
 	fmt.Println(tab.String())
 }
 
-func runScaling(quick bool, gpus, dispatch string) {
+func runScaling(quick bool, gpus, dispatch, jsonDir string) {
 	cfg := experiments.DefaultScaling()
 	if quick {
 		cfg = experiments.QuickScaling()
 	}
 	if gpus != "" {
 		cfg.Replicas = nil
-		for _, s := range strings.Split(gpus, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
+		for _, s := range splitList(gpus) {
+			n, err := strconv.Atoi(s)
 			if err != nil || n < 1 {
 				fmt.Fprintf(os.Stderr, "bad -gpus entry %q\n", s)
 				os.Exit(2)
@@ -177,6 +203,47 @@ func runScaling(quick bool, gpus, dispatch string) {
 	if dispatch != "" {
 		cfg.Dispatcher = dispatch
 	}
-	tab := experiments.ScalingTable(experiments.RunScaling(cfg))
+	pts := experiments.RunScaling(cfg)
+	tab := experiments.ScalingTable(pts)
 	fmt.Println(tab.String())
+	writeBench(jsonDir, "scaling", cfg, pts)
+}
+
+func runPressure(quick bool, kvPolicy string, kvHighWater float64, jsonDir string) {
+	cfg := experiments.DefaultPressure()
+	if quick {
+		cfg = experiments.QuickPressure()
+	}
+	if policies := splitList(kvPolicy); len(policies) > 0 {
+		cfg.Policies = policies
+	}
+	cfg.HighWater = kvHighWater
+	pts := experiments.RunPressure(cfg)
+	tab := experiments.PressureTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "pressure", cfg, pts)
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// writeBench persists one experiment's machine-readable artifact.
+func writeBench(dir, experiment string, cfg, points any) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, "BENCH_"+experiment+".json")
+	if err := experiments.WriteBenchJSON(path, experiment, cfg, points); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -14,7 +14,16 @@
 // one conversation to the replica holding their prefix). Per-replica
 // utilization is reported by /v1/stats.
 //
-//	symphonyd -addr :8080 -speedup 1 -gpus 4 -dispatch cache-affinity
+// GPU KV memory is managed by the kernel memory daemon: -kv-policy
+// selects the eviction policy (lru, lfu, cost-aware, or none to disable)
+// and -kv-high-water the usage fraction that triggers reclaim. Under
+// pressure the daemon offloads cold KV files to host memory, restores
+// them transparently on access, and cooperatively preempts the
+// longest-idle process instead of failing allocations; daemon counters
+// appear under "kvd" in /v1/stats and offload/restore/park events stream
+// to the affected job as kv_pressure events on the v2 SSE surface.
+//
+//	symphonyd -addr :8080 -speedup 1 -gpus 4 -dispatch cache-affinity -kv-policy cost-aware
 //	curl -s -X POST localhost:8080/v2/programs -d @examples/wire/stream.json
 //	curl -sN localhost:8080/v2/programs/job-000001/events
 //	curl -s -X DELETE localhost:8080/v2/programs/job-000001
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kvd"
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -43,6 +53,10 @@ func main() {
 	gpus := flag.Int("gpus", 1, "number of simulated GPU replicas")
 	dispatch := flag.String("dispatch", "round-robin",
 		"replica dispatch policy ("+strings.Join(sched.DispatcherNames(), "|")+")")
+	kvPolicy := flag.String("kv-policy", "lru",
+		"KV memory daemon eviction policy ("+strings.Join(kvd.PolicyNames(), "|")+"|none)")
+	kvHighWater := flag.Float64("kv-high-water", 0.90,
+		"GPU KV usage fraction that triggers daemon reclaim")
 	maxJobs := flag.Int("max-jobs-per-user", 32, "cap on a tenant's concurrently live jobs")
 	retention := flag.Duration("job-retention", 10*time.Minute,
 		"how long finished jobs stay pollable (virtual time)")
@@ -51,6 +65,12 @@ func main() {
 	dispatcher, err := sched.NewDispatcher(*dispatch)
 	if err != nil {
 		log.Fatal(err)
+	}
+	kvCfg := kvd.Config{Policy: *kvPolicy, HighWater: *kvHighWater}
+	if kvCfg.Enabled() {
+		if _, err := kvd.NewPolicy(*kvPolicy); err != nil {
+			log.Fatal(err)
+		}
 	}
 	clk := simclock.NewRealtime(*speedup)
 	target := model.New(model.Llama13B())
@@ -63,6 +83,7 @@ func main() {
 		Policy:       sched.DefaultPoisson(),
 		Replicas:     *gpus,
 		Dispatcher:   dispatcher,
+		KV:           kvCfg,
 	})
 	kernel.RegisterTool("search", core.Tool{
 		Latency: 150 * time.Millisecond,
@@ -77,8 +98,8 @@ func main() {
 		MaxJobsPerUser: *maxJobs,
 		Retention:      *retention,
 	})
-	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch",
-		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher())
+	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s kv policy",
+		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher(), kernel.KVD().PolicyName())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

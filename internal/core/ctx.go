@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/kvd"
 	"repro/internal/kvfs"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -84,7 +86,21 @@ func (c *Ctx) EmitTokens(ids []token.ID) { c.Emit(c.Detokenize(ids)) }
 
 func (c *Ctx) track(f *kvfs.File) *kvfs.File {
 	c.tracked = append(c.tracked, f)
+	if k := c.p.k; k.kvd.Enabled() {
+		p := c.p
+		k.kvd.Track(f, p.pid, func(ev kvd.Event) {
+			p.publish(ProcEvent{Kind: EventKVPressure, Phase: ev.Phase, Text: kvdDetail(ev)})
+		})
+	}
 	return f
+}
+
+// kvdDetail renders a daemon event for the process event stream.
+func kvdDetail(ev kvd.Event) string {
+	if ev.Tokens > 0 {
+		return fmt.Sprintf("%d tokens, policy %s", ev.Tokens, ev.Policy)
+	}
+	return "policy " + ev.Policy
 }
 
 // KvCreate makes a new named KV file owned by the calling user.
@@ -121,7 +137,9 @@ func (c *Ctx) KvOpen(path string, write bool) (*kvfs.File, error) {
 }
 
 // KvFork clones f copy-on-write (Figure 2's kv_fork). Forking requires
-// read access: the clone carries the original's content.
+// read access: the clone carries the original's content. On a kernel
+// with a KV memory daemon, a parent the daemon offloaded is restored
+// transparently first (forking pins shared pages to the GPU tier).
 func (c *Ctx) KvFork(f *kvfs.File) (*kvfs.File, error) {
 	if err := c.p.checkLive(); err != nil {
 		return nil, err
@@ -129,7 +147,16 @@ func (c *Ctx) KvFork(f *kvfs.File) (*kvfs.File, error) {
 	if err := f.CheckAccess(c.p.user, false); err != nil {
 		return nil, err
 	}
-	c.p.k.kvCalls.Inc()
+	k := c.p.k
+	k.kvCalls.Inc()
+	k.kvd.Pin(f)
+	defer k.kvd.Unpin(f)
+	if k.kvd.Enabled() {
+		if err := c.ensureResident(f, k.models[k.defMod].Config().Cost); err != nil {
+			return nil, err
+		}
+	}
+	k.kvd.Touch(f)
 	child, err := f.Fork(c.p.user)
 	if err != nil {
 		return nil, err
@@ -137,26 +164,50 @@ func (c *Ctx) KvFork(f *kvfs.File) (*kvfs.File, error) {
 	return c.track(child), nil
 }
 
-// KvExtract builds a new file from selected token indices of f.
+// KvExtract builds a new file from selected token indices of f. The new
+// file's page allocation reclaims cold files under a KV memory daemon.
 func (c *Ctx) KvExtract(f *kvfs.File, indices []int) (*kvfs.File, error) {
 	if err := c.p.checkLive(); err != nil {
 		return nil, err
 	}
-	c.p.k.kvCalls.Inc()
-	child, err := f.Extract(c.p.user, indices)
+	k := c.p.k
+	k.kvCalls.Inc()
+	k.kvd.Pin(f)
+	defer k.kvd.Unpin(f)
+	k.kvd.Touch(f)
+	var child *kvfs.File
+	err := k.withReclaim(len(indices), func() error {
+		var xerr error
+		child, xerr = f.Extract(c.p.user, indices)
+		return xerr
+	})
 	if err != nil {
 		return nil, err
 	}
 	return c.track(child), nil
 }
 
-// KvMerge concatenates files into a new one.
+// KvMerge concatenates files into a new one. The new file's page
+// allocation reclaims cold files under a KV memory daemon.
 func (c *Ctx) KvMerge(files ...*kvfs.File) (*kvfs.File, error) {
 	if err := c.p.checkLive(); err != nil {
 		return nil, err
 	}
-	c.p.k.kvCalls.Inc()
-	child, err := c.p.k.fs.Merge(c.p.user, files...)
+	k := c.p.k
+	k.kvCalls.Inc()
+	need := 0
+	for _, f := range files {
+		k.kvd.Pin(f)
+		defer k.kvd.Unpin(f)
+		k.kvd.Touch(f)
+		need += f.Len()
+	}
+	var child *kvfs.File
+	err := k.withReclaim(need, func() error {
+		var merr error
+		child, merr = k.fs.Merge(c.p.user, files...)
+		return merr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -268,33 +319,74 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 		return nil, err
 	}
 
-	// Restore the file if a tool wait offloaded it; the thread pays the
-	// PCIe transfer time before the pass can run.
-	if !f.GPUResident() {
-		rstart := k.clk.Now()
-		restored, rerr := f.Restore()
-		if restored > 0 {
-			d := m.Config().Cost.TransferTime(restored)
-			k.restoreTime.Add(int64(d))
-			if err := k.clk.Sleep(d); err != nil {
-				return nil, err
-			}
-			k.tracer.Span(trace.Event{
-				At: rstart, Dur: k.clk.Now() - rstart, PID: c.p.pid, TID: c.tid,
-				Kind: trace.KindRestore, Detail: fmt.Sprintf("%d tokens", restored),
-			})
-		}
-		if rerr != nil {
-			return nil, rerr
-		}
+	// Cooperative preemption: under sustained GPU memory pressure the
+	// longest-idle process yields briefly before allocating, instead of
+	// the kernel failing anyone's allocation. The scheduler's admission
+	// gate then defers this call ahead of its KV allocation while
+	// pressure sits above the admission watermark, giving the memory
+	// daemon room to reclaim before fresh pages are taken.
+	c.maybePark()
+	if err := k.sch.Admit(); err != nil {
+		return nil, err
 	}
+	k.kvd.Touch(f)
 
-	// The KV entries and their context hashes are fixed at submission;
-	// the GPU step only determines *when* the results exist.
-	tails, err := f.Append(toks, positions)
+	// predAlloc is the memory-acquisition phase of the call: with the
+	// file pinned (the daemon never offloads KV an in-flight pred is
+	// using), restore it if a tool wait or the daemon offloaded it, then
+	// append the new tokens, reclaiming cold files on allocation
+	// failure. On success the pin is retained — the GPU step still
+	// reads these pages — and released after the scheduler returns; on
+	// failure it is released so self-preemption can swap the file out.
+	var tails []model.CtxHash
+	predAlloc := func() error {
+		k.kvd.Pin(f)
+		k.kvd.MaybeReclaim()
+		if err := c.ensureResident(f, m.Config().Cost); err != nil {
+			k.kvd.Unpin(f)
+			return err
+		}
+		// The KV entries and their context hashes are fixed at
+		// submission; the GPU step only determines *when* the results
+		// exist.
+		aerr := k.withReclaim(len(toks), func() error {
+			var err error
+			tails, err = f.Append(toks, positions)
+			return err
+		})
+		if aerr != nil {
+			k.kvd.Unpin(f)
+		}
+		return aerr
+	}
+	err = predAlloc()
+	// Concurrent preds can exhaust the GPU tier while each holds its own
+	// file pinned — nothing is evictable and everyone stalls. Break the
+	// hold-and-wait by self-preemption (vLLM-style swap): give back this
+	// call's residency, wait for space freed elsewhere, restore and
+	// retry. Waits grow with the attempt count and carry a deterministic
+	// per-process stagger, so standoffs thin out instead of thundering.
+	for attempt := 0; errors.Is(err, kvfs.ErrNoSpace) && k.kvd.Enabled() && attempt < selfPreemptRetries; attempt++ {
+		if lerr := c.p.checkLive(); lerr != nil {
+			// A cancel must surface as a cancellation, not as the
+			// standoff's ErrNoSpace.
+			return nil, lerr
+		}
+		k.kvd.Preempt(f)
+		wait := time.Duration(1+attempt/4) * time.Millisecond
+		if wait > 16*time.Millisecond {
+			wait = 16 * time.Millisecond
+		}
+		wait += time.Duration(c.p.pid%5) * 200 * time.Microsecond
+		if _, werr := k.spaceEvent().WaitFor(wait); werr != nil {
+			return nil, err
+		}
+		err = predAlloc()
+	}
 	if err != nil {
 		return nil, err
 	}
+	defer k.kvd.Unpin(f)
 	k.predCalls.Inc()
 	k.predTokens.Add(int64(len(toks)))
 
@@ -329,6 +421,73 @@ func resolvedName(k *Kernel, name string) string {
 		return k.defMod
 	}
 	return name
+}
+
+// parkSlice and maxPark bound one cooperative-preemption episode: the
+// parked thread re-checks pressure every slice and never yields longer
+// than maxPark in total, so preemption sheds load without starving.
+// selfPreemptRetries bounds how often one pred call will swap itself out
+// and retry before surfacing ErrNoSpace. The budget is generous on
+// purpose: competitors hold GPU pages only for finite work, so a stalled
+// call that keeps yielding eventually wins unless memory is truly
+// exhausted by locked files for the whole span.
+const (
+	parkSlice          = time.Millisecond
+	maxPark            = 10 * time.Millisecond
+	selfPreemptRetries = 1024
+)
+
+// maybePark yields the calling thread while the KV memory daemon judges
+// its process the best one to preempt (longest idle under high
+// pressure). Each slice it nudges the daemon to reclaim and then waits
+// for freed space; it returns as soon as pressure subsides, the verdict
+// moves to a colder process, or the bound elapses.
+func (c *Ctx) maybePark() {
+	k := c.p.k
+	if !k.kvd.ShouldPark(c.p.pid) {
+		return
+	}
+	k.kvd.NotePark(c.p.pid)
+	for waited := time.Duration(0); waited < maxPark; waited += parkSlice {
+		k.kvd.MaybeReclaim()
+		if _, err := k.spaceEvent().WaitFor(parkSlice); err != nil {
+			return
+		}
+		if c.p.CancelRequested() || !k.kvd.ShouldPark(c.p.pid) {
+			return
+		}
+	}
+}
+
+// ensureResident restores f to the GPU tier if a tool wait or the
+// memory daemon offloaded it, charging the PCIe transfer time to the
+// calling thread and crediting the daemon's restore ledger.
+func (c *Ctx) ensureResident(f *kvfs.File, cost model.CostModel) error {
+	k := c.p.k
+	if f.GPUResident() {
+		return nil
+	}
+	rstart := k.clk.Now()
+	_, host := f.ResidentTokens()
+	restored := 0
+	rerr := k.withReclaim(host, func() error {
+		n, err := f.Restore()
+		restored += n
+		return err
+	})
+	if restored > 0 {
+		d := cost.TransferTime(restored)
+		k.restoreTime.Add(int64(d))
+		k.kvd.NoteRestore(f, restored, d)
+		if err := k.clk.Sleep(d); err != nil {
+			return err
+		}
+		k.tracer.Span(trace.Event{
+			At: rstart, Dur: k.clk.Now() - rstart, PID: c.p.pid, TID: c.tid,
+			Kind: trace.KindRestore, Detail: fmt.Sprintf("%d tokens", restored),
+		})
+	}
+	return rerr
 }
 
 // --- threads (§4.3) ---

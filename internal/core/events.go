@@ -30,6 +30,11 @@ const (
 	// EventStatement brackets one interpreter statement (Phase
 	// "start"/"end", Op and Index identify the statement).
 	EventStatement EventKind = "statement"
+	// EventKVPressure reports a KV memory daemon action touching this
+	// process under GPU memory pressure: Phase is "offload" (KV pages
+	// migrated to host), "restore" (brought back on access), or "park"
+	// (the process was cooperatively preempted); Text carries detail.
+	EventKVPressure EventKind = "kv_pressure"
 )
 
 // Status is a process lifecycle state.
@@ -143,10 +148,16 @@ func (h *eventHub) publishFinal(e ProcEvent) {
 }
 
 // subscribe registers a new subscriber, replaying retained events with
-// Seq >= from.
+// Seq >= from. A subscriber resuming from a point the ring has already
+// evicted (from > 0 but below the first retained Seq) gets the gap
+// recorded on the subscription, so transports can surface an explicit
+// "events were lost" signal instead of silently skipping.
 func (h *eventHub) subscribe(from int64) *Subscription {
 	s := &Subscription{hub: h, notify: make(chan struct{}, 1)}
 	h.mu.Lock()
+	if from > 0 && len(h.ring) > 0 && h.ring[0].Seq > from {
+		s.gapFrom, s.gapTo = from, h.ring[0].Seq-1
+	}
 	for _, e := range h.ring {
 		if e.Seq >= from {
 			s.pending = append(s.pending, e)
@@ -175,6 +186,22 @@ type Subscription struct {
 	head    int  // next index of pending to deliver
 	done    bool // no further events will arrive
 	notify  chan struct{}
+
+	// gapFrom..gapTo is the Seq range the subscriber asked to resume
+	// from but the replay ring no longer retains; both zero when the
+	// resume point was still in the window.
+	gapFrom, gapTo int64
+}
+
+// Gap reports the sequence range lost between the subscriber's requested
+// resume point and the first retained event, and whether such a gap
+// exists. Transports surface it as an explicit signal (the v2 SSE
+// stream's "gap" event) so resuming clients know history was evicted
+// rather than silently skipped.
+func (s *Subscription) Gap() (from, to int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gapFrom, s.gapTo, s.gapTo > 0
 }
 
 func (s *Subscription) push(e ProcEvent) {

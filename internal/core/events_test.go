@@ -172,6 +172,47 @@ func TestEventRingTrimsHistory(t *testing.T) {
 	}
 }
 
+func TestSubscribeGapSignal(t *testing.T) {
+	clk, k := eventsKernel(t)
+	defer clk.Shutdown()
+
+	const n = eventRingCap + 100
+	p := k.Submit("u", func(ctx *Ctx) error {
+		for i := 0; i < n; i++ {
+			ctx.PublishToken("x")
+		}
+		return nil
+	})
+	clk.Go("waiter", func() { p.Wait() })
+	clk.WaitQuiescent()
+
+	// A resume point evicted from the ring is reported as an explicit
+	// gap covering exactly the lost range.
+	sub := p.Subscribe(2)
+	defer sub.Close()
+	events := drain(sub)
+	first := events[0].Seq
+	gapFrom, gapTo, ok := sub.Gap()
+	if !ok {
+		t.Fatalf("no gap reported resuming from 2 with first retained %d", first)
+	}
+	if gapFrom != 2 || gapTo != first-1 {
+		t.Fatalf("gap = [%d,%d], want [2,%d]", gapFrom, gapTo, first-1)
+	}
+
+	// Fresh subscribers (from 0) and in-window resumes see no gap.
+	fresh := p.Subscribe(0)
+	defer fresh.Close()
+	if _, _, ok := fresh.Gap(); ok {
+		t.Fatal("gap reported for a fresh subscriber")
+	}
+	inWindow := p.Subscribe(first + 10)
+	defer inWindow.Close()
+	if _, _, ok := inWindow.Gap(); ok {
+		t.Fatal("gap reported for an in-window resume")
+	}
+}
+
 func TestSubscriptionStopChannel(t *testing.T) {
 	clk, k := eventsKernel(t)
 	defer clk.Shutdown()

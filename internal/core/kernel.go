@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/kvd"
 	"repro/internal/kvfs"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -72,6 +73,11 @@ type Config struct {
 	// FS sizes the KV file system. Zero value means kvfs.DefaultConfig
 	// with the default model's KV footprint.
 	FS kvfs.Config
+	// KV configures the kernel KV memory daemon (internal/kvd): policy
+	// name plus high/low watermarks. The zero value disables the daemon,
+	// preserving the mechanism-only behaviour where programs see
+	// ErrNoSpace and carry their own retry policy.
+	KV kvd.Config
 	// Policy is the batch scheduler policy; nil means sched.DefaultPoisson.
 	Policy sched.Policy
 	// Replicas is the number of simulated GPU executors behind the batch
@@ -103,6 +109,7 @@ type Kernel struct {
 	defMod string
 	fs     *kvfs.FS
 	sch    *sched.Scheduler
+	kvd    *kvd.Daemon
 	tok    *token.Tokenizer
 
 	offloadThreshold time.Duration
@@ -170,17 +177,30 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 	if tok == nil {
 		tok = token.NewTokenizer(token.NewVocab())
 	}
+	fs := kvfs.NewFS(fsCfg)
+	daemon, err := kvd.New(clk, fs, costs[def], cfg.KV)
+	if err != nil {
+		panic(err)
+	}
+	schedCfg := sched.Config{
+		Models:     costs,
+		Policy:     cfg.Policy,
+		Replicas:   cfg.Replicas,
+		Dispatcher: cfg.Dispatcher,
+	}
+	if daemon.Enabled() {
+		// The admission gate defers new pred submissions while the KV
+		// daemon reports pressure above its admission watermark.
+		schedCfg.Pressure = daemon.Pressure
+		schedCfg.AdmitHighWater = daemon.Config().AdmitHighWater
+	}
 	k := &Kernel{
-		clk:    clk,
-		models: cfg.Models,
-		defMod: def,
-		fs:     kvfs.NewFS(fsCfg),
-		sch: sched.New(clk, sched.Config{
-			Models:     costs,
-			Policy:     cfg.Policy,
-			Replicas:   cfg.Replicas,
-			Dispatcher: cfg.Dispatcher,
-		}),
+		clk:              clk,
+		models:           cfg.Models,
+		defMod:           def,
+		fs:               fs,
+		sch:              sched.New(clk, schedCfg),
+		kvd:              daemon,
 		tok:              tok,
 		offloadThreshold: thr,
 		tracer:           cfg.Tracer,
@@ -241,6 +261,44 @@ func (k *Kernel) FS() *kvfs.FS { return k.fs }
 // Scheduler returns the batch inference scheduler, for observability.
 func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
 
+// KVD returns the KV memory daemon, or nil when disabled. The nil
+// daemon's methods are safe no-ops.
+func (k *Kernel) KVD() *kvd.Daemon { return k.kvd }
+
+// reclaimAttempts bounds the ErrNoSpace reclaim-retry loop. It is kept
+// short deliberately: withReclaim runs with the caller's file pinned, so
+// when nothing is evictable the caller should fail fast and break the
+// hold-and-wait through self-preemption (see Ctx.PredModel) rather than
+// wait here holding residency.
+const (
+	reclaimAttempts = 4
+	reclaimWait     = time.Millisecond
+)
+
+// withReclaim runs op, and if it fails with KV-cache OOM while the KV
+// memory daemon is enabled, reclaims cold files and retries. This is
+// what makes GPU memory exhaustion invisible to programs on a
+// daemon-managed kernel: allocations transparently evict instead of
+// failing. Without a daemon, op's error surfaces unchanged (the
+// mechanism-only behaviour programs like retryNoSpace build on).
+func (k *Kernel) withReclaim(need int, op func() error) error {
+	err := op()
+	if !k.kvd.Enabled() {
+		return err
+	}
+	for attempt := 0; errors.Is(err, kvfs.ErrNoSpace) && attempt < reclaimAttempts; attempt++ {
+		if freed := k.kvd.Reclaim(need); freed == 0 {
+			// Nothing evictable right now (all pinned, locked, or
+			// shared): wait for someone to free pages, then retry.
+			if _, werr := k.spaceEvent().WaitFor(reclaimWait); werr != nil {
+				return err
+			}
+		}
+		err = op()
+	}
+	return err
+}
+
 // Model returns the named model, or the default one for name "".
 func (k *Kernel) Model(name string) (*model.Model, error) {
 	if name == "" {
@@ -285,6 +343,7 @@ type Stats struct {
 	RestoreTime time.Duration
 	Sched       sched.Stats
 	FS          kvfs.Stats
+	KVD         kvd.Stats
 }
 
 // Stats returns a snapshot of counters.
@@ -299,6 +358,7 @@ func (k *Kernel) Stats() Stats {
 		RestoreTime: time.Duration(k.restoreTime.Value()),
 		Sched:       k.sch.Stats(),
 		FS:          k.fs.Stats(),
+		KVD:         k.kvd.Stats(),
 	}
 }
 

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	cfg := QuickScaling()
+	points := []ScalingPoint{{Replicas: 1, Throughput: 12.5}, {Replicas: 4, Throughput: 40, Speedup: 3.2}}
+	if err := WriteBenchJSON(path, "scaling", cfg, points); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Experiment    string         `json:"experiment"`
+		SchemaVersion int            `json:"schema_version"`
+		Config        ScalingConfig  `json:"config"`
+		Points        []ScalingPoint `json:"points"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if got.Experiment != "scaling" || got.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("header = %q/%d", got.Experiment, got.SchemaVersion)
+	}
+	if got.Config.Clients != cfg.Clients || len(got.Points) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Points[1].Speedup != 3.2 {
+		t.Fatalf("points mangled: %+v", got.Points)
+	}
+}

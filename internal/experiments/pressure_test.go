@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/kvd"
+)
+
+func TestPressureOversubscriptionSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pressure sweep in -short mode")
+	}
+	cfg := QuickPressure()
+	pts := RunPressure(cfg)
+	if len(pts) != len(kvd.PolicyNames()) {
+		t.Fatalf("unexpected sweep shape: %+v", pts)
+	}
+	byPolicy := map[string]PressurePoint{}
+	for _, p := range pts {
+		byPolicy[p.Policy] = p
+		// The acceptance bar: a 3x working set completes with zero
+		// program-visible ErrNoSpace failures under every policy.
+		if p.NoSpaceErrors != 0 || p.OtherErrors != 0 {
+			t.Errorf("%s: %d nospace + %d other errors", p.Policy, p.NoSpaceErrors, p.OtherErrors)
+		}
+		if p.Completed != cfg.Clients {
+			t.Errorf("%s: completed %d of %d clients", p.Policy, p.Completed, cfg.Clients)
+		}
+		// 3x oversubscription means real daemon work, not a vacuous pass.
+		if p.Offloads == 0 || p.Restores+p.SwapRestores == 0 {
+			t.Errorf("%s: no pressure exercised: %+v", p.Policy, p)
+		}
+		if p.GPUPeakPages > p.GPUPageCap {
+			t.Errorf("%s: GPU tier overcommitted: %d of %d pages", p.Policy, p.GPUPeakPages, p.GPUPageCap)
+		}
+	}
+	// The cost-aware policy must beat LRU on restored-token cost: it
+	// spends evictions on cheap-to-restore scratch instead of large
+	// conversations that come back.
+	ca, lru := byPolicy["cost-aware"], byPolicy["lru"]
+	if ca.RestoredCost >= lru.RestoredCost {
+		t.Errorf("cost-aware restored cost %v not below lru %v (cost-aware %+v, lru %+v)",
+			ca.RestoredCost, lru.RestoredCost, ca, lru)
+	}
+}

@@ -1,0 +1,601 @@
+// Package kvd implements the Symphony kernel's KV memory daemon: the
+// policy half of memory pressure handling that KVFS (mechanism only,
+// paper §4.2–4.3) deliberately leaves out.
+//
+// KVFS gives programs Offload/Restore between the GPU and host tiers but
+// ships no eviction: a busy multi-tenant deployment that exhausts GPU
+// pages simply fails allocations with ErrNoSpace. The daemon closes that
+// gap inside the kernel so every workload — not just programs that carry
+// their own retry loops — survives oversubscription:
+//
+//   - it tracks the KV files processes create, with recency, frequency,
+//     and model.CostModel-derived restore/recompute estimates per file;
+//   - when GPU usage crosses a high-water mark it offloads cold, unlocked,
+//     un-pinned files to the host tier under a pluggable policy (lru, lfu,
+//     or cost-aware) until usage falls to the low-water mark;
+//   - offloaded files are restored transparently by the next pred on them
+//     (the kernel already pays the PCIe time there), and the daemon keeps
+//     the restore ledger the pressure experiments report;
+//   - under sustained pressure it cooperatively preempts the longest-idle
+//     process: that process's next pred parks briefly (instead of the
+//     kernel failing anyone's allocation), shedding demand while hot
+//     processes keep the GPU busy.
+//
+// The daemon runs inline on kernel allocation paths rather than as a
+// polling actor: a periodic timer would keep the virtual clock from ever
+// quiescing, and allocation time is exactly when pressure changes. Safety
+// invariants: a file that is advisory-locked, pinned by an in-flight
+// pred, or merely opened by another program (untracked) is never
+// offloaded.
+package kvd
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/kvfs"
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+// Config assembles a daemon. The zero value is disabled.
+type Config struct {
+	// Policy names the eviction policy (see PolicyNames). Empty or "none"
+	// disables the daemon entirely: allocation failures surface to
+	// programs as before.
+	Policy string
+	// HighWater is the GPU page usage fraction that triggers reclaim
+	// (default 0.90).
+	HighWater float64
+	// LowWater is the usage fraction reclaim drives down to (default
+	// HighWater − 0.15).
+	LowWater float64
+	// AdmitHighWater is the usage fraction above which the batch
+	// scheduler's admission gate defers each pred ahead of its KV
+	// allocation (default 0.95). The gate itself lives in internal/sched
+	// (Scheduler.Admit); the kernel wires it to Daemon.Pressure.
+	AdmitHighWater float64
+}
+
+// Enabled reports whether the configuration selects an active daemon.
+func (c Config) Enabled() bool { return c.Policy != "" && c.Policy != "none" }
+
+// withDefaults fills unset watermarks.
+func (c Config) withDefaults() Config {
+	if c.HighWater <= 0 || c.HighWater > 1 {
+		c.HighWater = 0.90
+	}
+	if c.LowWater <= 0 || c.LowWater >= c.HighWater {
+		c.LowWater = c.HighWater - 0.15
+		if c.LowWater < 0 {
+			c.LowWater = 0
+		}
+	}
+	if c.AdmitHighWater <= 0 || c.AdmitHighWater > 1 {
+		c.AdmitHighWater = 0.95
+	}
+	return c
+}
+
+// Event describes a daemon action on one tracked file, delivered to the
+// owning process through the notify callback registered at Track time
+// (the kernel republishes it as a kv_pressure process event).
+type Event struct {
+	// Phase is "offload", "restore", or "park".
+	Phase string
+	// Tokens is the number of KV tokens moved (zero for park).
+	Tokens int
+	// Policy is the active eviction policy name.
+	Policy string
+}
+
+// Notify receives daemon events for one tracked file. Callbacks must not
+// block and must not call back into the daemon.
+type Notify func(Event)
+
+// Stats is a snapshot of daemon counters.
+type Stats struct {
+	Policy    string
+	HighWater float64
+	LowWater  float64
+	// Pressure is the instantaneous GPU page usage fraction.
+	Pressure float64
+	// Tracked is the number of live files under daemon management.
+	Tracked int
+	// Reclaims counts reclaim passes that offloaded at least one file.
+	Reclaims int64
+	// Offloads counts files offloaded; OffloadedTokens the KV tokens
+	// moved GPU→host.
+	Offloads        int64
+	OffloadedTokens int64
+	// Restores counts policy-evicted files transparently restored on a
+	// later access; RestoredTokens the tokens moved host→GPU, and
+	// RestoredCost the total PCIe time those restores charged — the
+	// price of the eviction policy picking files that turned out to
+	// still be needed, the figure of merit policies compete on.
+	Restores       int64
+	RestoredTokens int64
+	RestoredCost   time.Duration
+	// SwapRestores / SwapRestoredTokens / SwapRestoredCost are the same
+	// ledger for self-preemption swaps (a stalled pred giving back its
+	// own residency): that cost is paid to break allocation standoffs
+	// and is not the eviction policy's doing.
+	SwapRestores       int64
+	SwapRestoredTokens int64
+	SwapRestoredCost   time.Duration
+	// Preemptions counts cooperative preemption episodes: parks of the
+	// longest-idle process plus self-preemptions (a stalled pred swapping
+	// out its own residency to break an allocation standoff).
+	Preemptions int64
+}
+
+type entry struct {
+	f      *kvfs.File
+	seq    int64
+	pid    int
+	notify Notify
+
+	lastAccess time.Duration
+	accesses   int64
+	pins       int
+	// offloadReason is "policy" or "swap" while the daemon has moved the
+	// file off the GPU and has not yet seen it restored, so each restore
+	// is attributed to the decision that caused it; "" otherwise.
+	offloadReason string
+}
+
+// Daemon is a KV memory daemon instance. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so a kernel without a
+// daemon pays only nil checks.
+type Daemon struct {
+	clk    *simclock.Clock
+	fs     *kvfs.FS
+	cost   model.CostModel
+	policy Policy
+	cfg    Config
+
+	mu      sync.Mutex
+	seq     int64
+	entries map[*kvfs.File]*entry
+	pidLast map[int]time.Duration // latest access per live process
+	sinceGC int                   // Tracks since the last entry sweep
+
+	reclaims        int64
+	offloads        int64
+	offloadedTokens int64
+	restores        int64
+	restoredTokens  int64
+	restoredCost    time.Duration
+	swapRestores    int64
+	swapRestoredTok int64
+	swapRestoredC   time.Duration
+	preemptions     int64
+}
+
+// New assembles a daemon over fs, costing restores and recomputes with
+// the default model's cost model. A disabled config returns (nil, nil):
+// the nil daemon is a valid no-op.
+func New(clk *simclock.Clock, fs *kvfs.FS, cost model.CostModel, cfg Config) (*Daemon, error) {
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		clk:     clk,
+		fs:      fs,
+		cost:    cost,
+		policy:  pol,
+		cfg:     cfg.withDefaults(),
+		entries: make(map[*kvfs.File]*entry),
+		pidLast: make(map[int]time.Duration),
+	}, nil
+}
+
+// Enabled reports whether the daemon is active.
+func (d *Daemon) Enabled() bool { return d != nil }
+
+// PolicyName reports the active eviction policy name, or "none".
+func (d *Daemon) PolicyName() string {
+	if d == nil {
+		return "none"
+	}
+	return d.policy.Name()
+}
+
+// Config returns the daemon's effective configuration.
+func (d *Daemon) Config() Config {
+	if d == nil {
+		return Config{}
+	}
+	return d.cfg
+}
+
+// Track places a process-private file under daemon management. Files the
+// daemon does not know about (e.g. shared files another program opened)
+// are never offloaded.
+func (d *Daemon) Track(f *kvfs.File, pid int, notify Notify) {
+	if d == nil || f == nil {
+		return
+	}
+	now := d.clk.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[f]; ok {
+		return
+	}
+	// Amortized sweep: reclaim and park paths only garbage-collect under
+	// pressure, so a server that never crosses the high-water mark must
+	// still shed entries (and their notify closures) for removed files.
+	if d.sinceGC++; d.sinceGC >= 64 {
+		d.sinceGC = 0
+		d.gcPidsLocked()
+	}
+	d.seq++
+	d.entries[f] = &entry{f: f, seq: d.seq, pid: pid, notify: notify, lastAccess: now, accesses: 1}
+	if last, ok := d.pidLast[pid]; !ok || now > last {
+		d.pidLast[pid] = now
+	}
+}
+
+// Touch records an access to a tracked file (pred, fork source, …),
+// refreshing the recency and frequency signals policies rank on.
+func (d *Daemon) Touch(f *kvfs.File) {
+	if d == nil {
+		return
+	}
+	now := d.clk.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[f]
+	if !ok {
+		return
+	}
+	e.lastAccess = now
+	e.accesses++
+	if e.pid == 0 {
+		return // orphan of a finished process: no park bookkeeping
+	}
+	if last, ok := d.pidLast[e.pid]; !ok || now > last {
+		d.pidLast[e.pid] = now
+	}
+}
+
+// ReleaseProcess detaches a finished process from the daemon: its
+// entries drop their notify closures (releasing the Process and its
+// event ring) and leave the cooperative-park bookkeeping, so one dead
+// process can neither be retained in memory nor shield every live
+// process from parking. Files the process leaked (never Removed) stay
+// tracked as orphans — cold garbage the eviction policies reap first.
+func (d *Daemon) ReleaseProcess(pid int) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for f, e := range d.entries {
+		if e.pid != pid {
+			continue
+		}
+		if f.Removed() {
+			delete(d.entries, f)
+			continue
+		}
+		e.pid = 0
+		e.notify = nil
+	}
+	delete(d.pidLast, pid)
+}
+
+// Pin marks a file in-flight (a pred is using it); pinned files are
+// never offloaded. Pins nest.
+func (d *Daemon) Pin(f *kvfs.File) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[f]; ok {
+		e.pins++
+	}
+}
+
+// Unpin releases a Pin.
+func (d *Daemon) Unpin(f *kvfs.File) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[f]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// NoteRestore attributes a transparent restore performed by the kernel
+// (pred found the file off-GPU) to the daemon's ledger and notifies the
+// owning process.
+func (d *Daemon) NoteRestore(f *kvfs.File, tokens int, cost time.Duration) {
+	if d == nil || tokens <= 0 {
+		return
+	}
+	d.mu.Lock()
+	e, ok := d.entries[f]
+	var notify Notify
+	if ok && e.offloadReason != "" {
+		switch e.offloadReason {
+		case "swap":
+			d.swapRestores++
+			d.swapRestoredTok += int64(tokens)
+			d.swapRestoredC += cost
+		default:
+			d.restores++
+			d.restoredTokens += int64(tokens)
+			d.restoredCost += cost
+		}
+		e.offloadReason = ""
+		notify = e.notify
+	}
+	pol := d.policy.Name()
+	d.mu.Unlock()
+	if notify != nil {
+		notify(Event{Phase: "restore", Tokens: tokens, Policy: pol})
+	}
+}
+
+// Pressure reports the instantaneous GPU page usage fraction.
+func (d *Daemon) Pressure() float64 {
+	if d == nil {
+		return 0
+	}
+	st := d.fs.Stats()
+	if st.GPUPageCap <= 0 {
+		return 0
+	}
+	return float64(st.GPUPages) / float64(st.GPUPageCap)
+}
+
+// MaybeReclaim checks the high-water mark and, when crossed, offloads
+// cold files until usage falls to the low-water mark. It returns the
+// tokens freed. The kernel calls it on allocation paths (every pred), so
+// pressure is handled where it is created.
+func (d *Daemon) MaybeReclaim() int {
+	if d == nil {
+		return 0
+	}
+	st := d.fs.Stats()
+	if st.GPUPageCap <= 0 || float64(st.GPUPages) < d.cfg.HighWater*float64(st.GPUPageCap) {
+		return 0
+	}
+	target := st.GPUPages - int(d.cfg.LowWater*float64(st.GPUPageCap))
+	return d.reclaim(target * st.PageTokens)
+}
+
+// Reclaim frees at least needTokens of GPU KV space if it can, on top of
+// driving usage to the low-water mark when above it. The kernel calls it
+// when an allocation fails outright (ErrNoSpace) before retrying.
+func (d *Daemon) Reclaim(needTokens int) int {
+	if d == nil {
+		return 0
+	}
+	st := d.fs.Stats()
+	if st.GPUPageCap > 0 {
+		if over := st.GPUPages - int(d.cfg.LowWater*float64(st.GPUPageCap)); over*st.PageTokens > needTokens {
+			needTokens = over * st.PageTokens
+		}
+	}
+	return d.reclaim(needTokens)
+}
+
+// reclaim offloads candidates in policy order until freed >= needTokens
+// or candidates run out, then fires the owner notifications.
+func (d *Daemon) reclaim(needTokens int) int {
+	if needTokens <= 0 {
+		return 0
+	}
+	now := d.clk.Now()
+	d.mu.Lock()
+	cands, ents := d.candidatesLocked()
+	order := d.policy.Rank(now, cands)
+	freed := 0
+	pol := d.policy.Name()
+	var fired []func()
+	for _, i := range order {
+		if freed >= needTokens {
+			break
+		}
+		e := ents[i]
+		n, _ := e.f.Offload()
+		if n == 0 {
+			continue
+		}
+		freed += n
+		e.offloadReason = "policy"
+		d.offloads++
+		d.offloadedTokens += int64(n)
+		if e.notify != nil {
+			notify, tokens := e.notify, n
+			fired = append(fired, func() { notify(Event{Phase: "offload", Tokens: tokens, Policy: pol}) })
+		}
+	}
+	if freed > 0 {
+		d.reclaims++
+	}
+	d.mu.Unlock()
+	for _, fn := range fired {
+		fn()
+	}
+	return freed
+}
+
+// candidatesLocked snapshots the offloadable files: tracked, not
+// removed, not advisory-locked, not pinned, with GPU-resident tokens to
+// move. It also garbage-collects entries for removed files. Caller holds
+// d.mu.
+func (d *Daemon) candidatesLocked() ([]FileInfo, []*entry) {
+	var infos []FileInfo
+	var ents []*entry
+	for f, e := range d.entries {
+		if f.Removed() {
+			delete(d.entries, f)
+			continue
+		}
+		if e.pins > 0 || f.LockedBy() != "" {
+			continue
+		}
+		gpu, _ := f.ResidentTokens()
+		if gpu == 0 {
+			continue
+		}
+		infos = append(infos, FileInfo{
+			File:          f,
+			Seq:           e.seq,
+			PID:           e.pid,
+			LastAccess:    e.lastAccess,
+			Accesses:      e.accesses,
+			Tokens:        gpu,
+			RestoreCost:   d.cost.TransferTime(gpu),
+			RecomputeCost: d.cost.KernelOverhead + d.cost.PerSequence + time.Duration(f.Len())*d.cost.PerToken,
+		})
+		ents = append(ents, e)
+	}
+	return infos, ents
+}
+
+// Preempt offloads f immediately on behalf of its own stalled pred
+// (vLLM-style swap-out: a call that cannot get GPU pages gives back its
+// residency, waits, and restores on retry), unless another in-flight
+// call has it pinned or it is advisory-locked. It returns the tokens
+// moved and counts one preemption.
+func (d *Daemon) Preempt(f *kvfs.File) int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	e, ok := d.entries[f]
+	if !ok || e.pins > 0 || f.Removed() || f.LockedBy() != "" {
+		d.mu.Unlock()
+		return 0
+	}
+	n, _ := f.Offload()
+	var notify Notify
+	if n > 0 {
+		e.offloadReason = "swap"
+		d.offloads++
+		d.offloadedTokens += int64(n)
+		d.preemptions++
+		notify = e.notify
+	}
+	pol := d.policy.Name()
+	d.mu.Unlock()
+	if notify != nil {
+		notify(Event{Phase: "offload", Tokens: n, Policy: pol})
+	}
+	return n
+}
+
+// ShouldPark reports whether the calling process should cooperatively
+// yield before its next pred: GPU pressure is at or above the high-water
+// mark and pid is the longest-idle of the (at least two) live tracked
+// processes. Parking the coldest process sheds demand under pressure
+// without failing anyone — its pred proceeds after a bounded wait and
+// transparently restores whatever was offloaded meanwhile.
+func (d *Daemon) ShouldPark(pid int) bool {
+	if d == nil {
+		return false
+	}
+	if d.Pressure() < d.cfg.HighWater {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gcPidsLocked()
+	if len(d.pidLast) < 2 {
+		return false
+	}
+	mine, ok := d.pidLast[pid]
+	if !ok {
+		return false
+	}
+	for other, last := range d.pidLast {
+		if other == pid {
+			continue
+		}
+		if last < mine || (last == mine && other < pid) {
+			return false // someone colder exists
+		}
+	}
+	return true
+}
+
+// NotePark counts one cooperative preemption episode and notifies the
+// parked process's subscribers through any tracked file of that process.
+func (d *Daemon) NotePark(pid int) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.preemptions++
+	var notify Notify
+	var bestSeq int64 = -1
+	for _, e := range d.entries {
+		if e.pid == pid && e.notify != nil && (bestSeq < 0 || e.seq < bestSeq) {
+			bestSeq, notify = e.seq, e.notify
+		}
+	}
+	pol := d.policy.Name()
+	d.mu.Unlock()
+	if notify != nil {
+		notify(Event{Phase: "park", Policy: pol})
+	}
+}
+
+// gcPidsLocked drops processes whose tracked files are all gone. Caller
+// holds d.mu.
+func (d *Daemon) gcPidsLocked() {
+	live := make(map[int]bool, len(d.pidLast))
+	for f, e := range d.entries {
+		if f.Removed() {
+			delete(d.entries, f)
+			continue
+		}
+		if e.pid != 0 {
+			live[e.pid] = true
+		}
+	}
+	for pid := range d.pidLast {
+		if !live[pid] {
+			delete(d.pidLast, pid)
+		}
+	}
+}
+
+// Stats returns a snapshot of counters.
+func (d *Daemon) Stats() Stats {
+	if d == nil {
+		return Stats{Policy: "none"}
+	}
+	pressure := d.Pressure()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gcPidsLocked() // Tracked counts live files, not removed ones
+	return Stats{
+		Policy:             d.policy.Name(),
+		HighWater:          d.cfg.HighWater,
+		LowWater:           d.cfg.LowWater,
+		Pressure:           pressure,
+		Tracked:            len(d.entries),
+		Reclaims:           d.reclaims,
+		Offloads:           d.offloads,
+		OffloadedTokens:    d.offloadedTokens,
+		Restores:           d.restores,
+		RestoredTokens:     d.restoredTokens,
+		RestoredCost:       d.restoredCost,
+		SwapRestores:       d.swapRestores,
+		SwapRestoredTokens: d.swapRestoredTok,
+		SwapRestoredCost:   d.swapRestoredC,
+		Preemptions:        d.preemptions,
+	}
+}

@@ -215,6 +215,119 @@ func TestReplicaStatsAggregation(t *testing.T) {
 	}
 }
 
+// TestDispatcherTieBreaks pins the edge-case routing decisions as a
+// table over dispatcher × view shapes: equal queues, a saturated
+// affinity home, and an affinity key no replica has served yet.
+func TestDispatcherTieBreaks(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	equal := []ReplicaView{
+		{ID: 0, Queued: 2, QueuedTokens: 100, InflightTokens: 50},
+		{ID: 1, Queued: 2, QueuedTokens: 100, InflightTokens: 50},
+		{ID: 2, Queued: 2, QueuedTokens: 100, InflightTokens: 50},
+	}
+	// Replica 1 (= 5 % 4) is drowning; the others are idle.
+	saturatedHome := []ReplicaView{
+		{ID: 0},
+		{ID: 1, Queued: 64, QueuedTokens: 50000, InflightTokens: 8000,
+			BusyUntil: ms(900), Now: ms(10)},
+		{ID: 2},
+		{ID: 3},
+	}
+	idle4 := []ReplicaView{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	cases := []struct {
+		name string
+		d    Dispatcher
+		c    Call
+		view []ReplicaView
+		want int
+	}{
+		{
+			// Fully equal load: pending tokens tie, busy horizons tie —
+			// the lowest replica ID wins, deterministically.
+			name: "least-loaded equal queues picks lowest id",
+			d:    LeastLoaded{},
+			view: equal,
+			want: 0,
+		},
+		{
+			// Equal pending tokens split differently between queued and
+			// in-flight still tie: the split must not matter.
+			name: "least-loaded queued/inflight split ties",
+			d:    LeastLoaded{},
+			view: []ReplicaView{
+				{ID: 0, QueuedTokens: 150, InflightTokens: 0},
+				{ID: 1, QueuedTokens: 0, InflightTokens: 150},
+			},
+			want: 0,
+		},
+		{
+			// Cache affinity is sticky even when the home replica is
+			// saturated: losing the prefix KV costs more than queueing
+			// (the fallback is reserved for keyless calls).
+			name: "cache-affinity saturated home stays pinned",
+			d:    &CacheAffinity{},
+			c:    Call{Model: target, Tokens: 8, Affinity: 5},
+			view: saturatedHome,
+			want: 1,
+		},
+		{
+			// A keyless call under the same saturated view must avoid
+			// the drowning replica via the least-loaded fallback.
+			name: "cache-affinity keyless avoids saturated replica",
+			d:    &CacheAffinity{},
+			c:    Call{Model: target, Tokens: 8},
+			view: saturatedHome,
+			want: 0,
+		},
+		{
+			// A fork whose root hash was never dispatched before has no
+			// history anywhere; its home is still a pure function of the
+			// key, so later forks of the same conversation join it.
+			name: "cache-affinity unseen root hash routes by key",
+			d:    &CacheAffinity{},
+			c:    Call{Model: target, Tokens: 8, Affinity: 0xdeadbeef},
+			view: idle4,
+			want: int(0xdeadbeef % 4),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.d.Pick(tc.c, tc.view); got != tc.want {
+				t.Fatalf("pick = %d, want %d", got, tc.want)
+			}
+			// Decisions over a static view are stable across repeats —
+			// no hidden state may perturb routing.
+			if again := tc.d.Pick(tc.c, tc.view); again != tc.want {
+				t.Fatalf("repeat pick = %d, want %d", again, tc.want)
+			}
+		})
+	}
+}
+
+// TestCacheAffinityUnseenKeyEndToEnd dispatches a fork whose root hash
+// no replica has ever served through a live scheduler: the call must
+// land on its hash-determined home and execute exactly once.
+func TestCacheAffinityUnseenKeyEndToEnd(t *testing.T) {
+	clk := simclock.New()
+	s := newMulti(clk, 4, &CacheAffinity{}, Immediate{})
+	const key = 0x9e3779b9 // never submitted before
+	run(t, clk, func() {
+		if err := s.SubmitCall(Call{Model: target, Tokens: 4, Affinity: key}); err != nil {
+			t.Errorf("SubmitCall: %v", err)
+		}
+	})
+	st := s.Stats()
+	for _, rs := range st.Replicas {
+		want := int64(0)
+		if rs.ID == key%4 {
+			want = 1
+		}
+		if rs.Calls != want {
+			t.Fatalf("replica %d calls = %d, want %d", rs.ID, rs.Calls, want)
+		}
+	}
+}
+
 // misroute always returns an out-of-range replica index.
 type misroute struct{}
 

@@ -128,6 +128,19 @@ type Config struct {
 	Replicas int
 	// Dispatcher routes calls across replicas; nil means round-robin.
 	Dispatcher Dispatcher
+	// Pressure, when non-nil, reports GPU KV memory usage as a fraction
+	// of capacity (the kernel wires it to the KV daemon). It enables the
+	// Admit gate: while pressure is at or above AdmitHighWater, Admit
+	// parks new pred admissions for up to AdmitMaxWait. The kernel calls
+	// Admit before a pred's KV allocation, so the memory daemon can
+	// reclaim ahead of fresh allocations instead of failing them.
+	Pressure func() float64
+	// AdmitHighWater is the pressure fraction that closes the admission
+	// gate (default 0.95 when Pressure is set).
+	AdmitHighWater float64
+	// AdmitMaxWait bounds how long one call may be deferred at admission
+	// (default 10ms); the gate sheds load, it must never starve a call.
+	AdmitMaxWait time.Duration
 }
 
 // ReplicaStats is a snapshot of one replica's counters.
@@ -158,7 +171,12 @@ type Stats struct {
 	GPUBusy     time.Duration
 	Utilization float64
 	Dispatcher  string
-	Replicas    []ReplicaStats
+	// AdmitDeferred counts calls the pressure-aware admission gate held
+	// back at least once; AdmitWait is the total virtual time spent
+	// parked at admission.
+	AdmitDeferred int64
+	AdmitWait     time.Duration
+	Replicas      []ReplicaStats
 }
 
 // Scheduler is the batch inference scheduler plus the simulated GPU
@@ -172,9 +190,15 @@ type Scheduler struct {
 	replicas   []*replica
 	delayHist  *metrics.Histogram // aggregate queue delay across replicas
 
-	mu     sync.Mutex
-	calls  int64
-	tokens int64
+	pressure     func() float64
+	admitHW      float64
+	admitMaxWait time.Duration
+
+	mu            sync.Mutex
+	calls         int64
+	tokens        int64
+	admitDeferred int64
+	admitWait     time.Duration
 }
 
 // replica is one simulated GPU executor with its own batching loop.
@@ -211,12 +235,21 @@ func New(clk *simclock.Clock, cfg Config) *Scheduler {
 	if cfg.Dispatcher == nil {
 		cfg.Dispatcher = NewRoundRobin()
 	}
+	if cfg.AdmitHighWater <= 0 || cfg.AdmitHighWater > 1 {
+		cfg.AdmitHighWater = 0.95
+	}
+	if cfg.AdmitMaxWait <= 0 {
+		cfg.AdmitMaxWait = 10 * time.Millisecond
+	}
 	s := &Scheduler{
-		clk:        clk,
-		models:     cfg.Models,
-		policy:     cfg.Policy,
-		dispatcher: cfg.Dispatcher,
-		delayHist:  metrics.NewHistogram(),
+		clk:          clk,
+		models:       cfg.Models,
+		policy:       cfg.Policy,
+		dispatcher:   cfg.Dispatcher,
+		delayHist:    metrics.NewHistogram(),
+		pressure:     cfg.Pressure,
+		admitHW:      cfg.AdmitHighWater,
+		admitMaxWait: cfg.AdmitMaxWait,
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		r := &replica{
@@ -250,9 +283,11 @@ func (s *Scheduler) ReplicaQueueDelay(i int) *metrics.Histogram {
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Calls:      s.calls,
-		Tokens:     s.tokens,
-		Dispatcher: s.dispatcher.Name(),
+		Calls:         s.calls,
+		Tokens:        s.tokens,
+		Dispatcher:    s.dispatcher.Name(),
+		AdmitDeferred: s.admitDeferred,
+		AdmitWait:     s.admitWait,
 	}
 	s.mu.Unlock()
 
@@ -340,6 +375,39 @@ func (s *Scheduler) SubmitCall(meta Call) error {
 	c := &call{model: meta.Model, tokens: meta.Tokens, queuedAt: now, done: s.clk.NewEvent()}
 	r.queue.Put(c)
 	return c.done.Wait()
+}
+
+// admitSlice is how often a call parked at the admission gate re-checks
+// pressure.
+const admitSlice = 500 * time.Microsecond
+
+// Admit is the pressure-aware admission gate: while GPU KV pressure is
+// at or above the high-water mark, new pred admissions park (bounded by
+// AdmitMaxWait) so the memory daemon reclaims ahead of fresh demand.
+// The kernel calls it BEFORE a pred's KV allocation — gating after the
+// pages are taken would only delay their release. With no pressure
+// source configured it is free. Must be called from a clock actor.
+func (s *Scheduler) Admit() error {
+	if s.pressure == nil || s.pressure() < s.admitHW {
+		return nil
+	}
+	s.mu.Lock()
+	s.admitDeferred++
+	s.mu.Unlock()
+	var waited time.Duration
+	for waited < s.admitMaxWait {
+		if err := s.clk.Sleep(admitSlice); err != nil {
+			return err
+		}
+		waited += admitSlice
+		if s.pressure() < s.admitHW {
+			break
+		}
+	}
+	s.mu.Lock()
+	s.admitWait += waited
+	s.mu.Unlock()
+	return nil
 }
 
 // route asks the dispatcher for a replica, clamping out-of-range answers.

@@ -188,18 +188,36 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"processes":    st.Processes,
-		"pred_calls":   st.PredCalls,
-		"pred_tokens":  st.PredTokens,
-		"kv_calls":     st.KVCalls,
-		"tool_calls":   st.ToolCalls,
-		"ipc_messages": st.IPCMessages,
-		"gpu_pages":    st.FS.GPUPages,
-		"gpu_page_cap": st.FS.GPUPageCap,
-		"gpu_busy":     st.Sched.Utilization,
-		"avg_batch":    st.Sched.AvgBatch,
-		"gpus":         len(st.Sched.Replicas),
-		"dispatcher":   st.Sched.Dispatcher,
+		"processes":      st.Processes,
+		"pred_calls":     st.PredCalls,
+		"pred_tokens":    st.PredTokens,
+		"kv_calls":       st.KVCalls,
+		"tool_calls":     st.ToolCalls,
+		"ipc_messages":   st.IPCMessages,
+		"gpu_pages":      st.FS.GPUPages,
+		"gpu_page_cap":   st.FS.GPUPageCap,
+		"gpu_busy":       st.Sched.Utilization,
+		"avg_batch":      st.Sched.AvgBatch,
+		"gpus":           len(st.Sched.Replicas),
+		"dispatcher":     st.Sched.Dispatcher,
+		"admit_deferred": st.Sched.AdmitDeferred,
+		"admit_wait":     st.Sched.AdmitWait.String(),
+		"kvd": map[string]any{
+			"policy":             st.KVD.Policy,
+			"high_water":         st.KVD.HighWater,
+			"low_water":          st.KVD.LowWater,
+			"pressure":           st.KVD.Pressure,
+			"tracked_files":      st.KVD.Tracked,
+			"reclaims":           st.KVD.Reclaims,
+			"offloads":           st.KVD.Offloads,
+			"offloaded_tokens":   st.KVD.OffloadedTokens,
+			"restores":           st.KVD.Restores,
+			"restored_tokens":    st.KVD.RestoredTokens,
+			"restored_cost":      st.KVD.RestoredCost.String(),
+			"swap_restores":      st.KVD.SwapRestores,
+			"swap_restored_cost": st.KVD.SwapRestoredCost.String(),
+			"preemptions":        st.KVD.Preemptions,
+		},
 		"replicas":     replicas,
 		"virtual_time": s.clk.Now().String(),
 	})

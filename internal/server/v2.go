@@ -11,7 +11,10 @@
 //
 // The event stream replays the process's retained history (ring of the
 // last 512 events; `?from=SEQ` or a Last-Event-ID header resumes after a
-// drop) and ends with the terminal status event (`final: true`).
+// drop) and ends with the terminal status event (`final: true`). A
+// client resuming from before the ring window receives an explicit
+// `gap` frame naming the lost sequence range before replay continues,
+// never a silent skip.
 package server
 
 import (
@@ -152,6 +155,14 @@ func (s *Server) v2Events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+
+	// A resume point older than the replay ring gets an explicit gap
+	// signal naming the lost range. The frame carries no SSE id, so a
+	// reconnecting client's Last-Event-ID is not disturbed.
+	if gapFrom, gapTo, ok := sub.Gap(); ok {
+		fmt.Fprintf(w, "event: gap\ndata: {\"missed_from\":%d,\"missed_to\":%d}\n\n", gapFrom, gapTo)
+		flusher.Flush()
+	}
 
 	for {
 		ev, ok := sub.Next(r.Context().Done())

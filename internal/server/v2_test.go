@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -269,6 +270,113 @@ func TestV2EventsOrderingReplay(t *testing.T) {
 		}
 	}
 	t.Fatalf("no events after resume")
+}
+
+// sseFrame is one raw SSE frame: the optional id and event-name lines
+// plus the data payload.
+type sseFrame struct {
+	id, event, data string
+}
+
+// readSSEFrames performs a GET on the job's event stream with the given
+// Last-Event-ID header and parses every frame until the stream closes.
+func readSSEFrames(t *testing.T, ts *httptest.Server, id, lastEventID string) []sseFrame {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v2/programs/"+id+"/events", nil)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer resp.Body.Close()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur != (sseFrame{}) {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return frames
+}
+
+func TestV2EventsResumeBeforeRingWindowSignalsGap(t *testing.T) {
+	srv, clk := newServerWith(t, 10000, Options{})
+	defer clk.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Generate more events than the 512-event replay ring retains.
+	sub := submitV2(t, ts, "alice", `{"steps":[
+		{"op":"anon","s":"a"},
+		{"op":"prefill","s":"a","text":"stream me "},
+		{"op":"generate","s":"a","max_tokens":600}
+	]}`)
+	waitTerminal(t, ts, sub.JobID)
+
+	// Resuming from Last-Event-ID 1 (long evicted) must lead with an
+	// explicit gap frame naming the lost range, then replay the window.
+	frames := readSSEFrames(t, ts, sub.JobID, "1")
+	if len(frames) < 2 {
+		t.Fatalf("too few frames: %d", len(frames))
+	}
+	gap := frames[0]
+	if gap.event != "gap" {
+		t.Fatalf("first frame = %+v, want an explicit gap event", gap)
+	}
+	if gap.id != "" {
+		t.Fatalf("gap frame carries an SSE id %q; it must not disturb Last-Event-ID", gap.id)
+	}
+	var missed struct {
+		From int64 `json:"missed_from"`
+		To   int64 `json:"missed_to"`
+	}
+	if err := json.Unmarshal([]byte(gap.data), &missed); err != nil {
+		t.Fatalf("gap data %q: %v", gap.data, err)
+	}
+	firstReplayed, err := strconv.ParseInt(frames[1].id, 10, 64)
+	if err != nil {
+		t.Fatalf("replay frame id %q: %v", frames[1].id, err)
+	}
+	if missed.From != 2 || missed.To != firstReplayed-1 {
+		t.Fatalf("gap = [%d,%d], want [2,%d]", missed.From, missed.To, firstReplayed-1)
+	}
+	if firstReplayed <= 2 {
+		t.Fatalf("no events were actually evicted (first replayed %d); test is vacuous", firstReplayed)
+	}
+	if last := frames[len(frames)-1]; !strings.Contains(last.data, `"final":true`) {
+		t.Fatalf("stream did not end with the terminal event: %+v", last)
+	}
+
+	// A resume inside the retained window stays gap-free.
+	within := readSSEFrames(t, ts, sub.JobID, strconv.FormatInt(firstReplayed+5, 10))
+	if len(within) == 0 {
+		t.Fatal("no frames for in-window resume")
+	}
+	for _, f := range within {
+		if f.event == "gap" {
+			t.Fatalf("gap frame on in-window resume: %+v", f)
+		}
+	}
+	// And a fresh attach (no Last-Event-ID) replays the ring silently.
+	fresh := readSSEFrames(t, ts, sub.JobID, "")
+	if len(fresh) == 0 || fresh[0].event == "gap" {
+		t.Fatalf("fresh attach mishandled: %+v", fresh[:1])
+	}
 }
 
 func TestV2ListTenantIsolation(t *testing.T) {
