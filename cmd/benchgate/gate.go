@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchDoc is the subset of a BENCH_<exp>.json artifact the gate reads.
+// Points stay schemaless maps so one comparator covers every experiment:
+// the identity fields differ per experiment but the figure of merit is
+// always a "Throughput" field in virtual units.
+type benchDoc struct {
+	Experiment    string           `json:"experiment"`
+	SchemaVersion int              `json:"schema_version"`
+	Points        []map[string]any `json:"points"`
+}
+
+// keyFields are the point-identity fields, in key order. A point's key
+// is the concatenation of whichever of these it carries, which is unique
+// within every experiment's sweep (scaling: Replicas+Dispatcher;
+// pressure: Policy+Oversub; migrate: Dispatcher+Replicas).
+var keyFields = []string{"Dispatcher", "Policy", "Replicas", "Oversub", "Families"}
+
+// pointKey renders a point's identity.
+func pointKey(p map[string]any) string {
+	var parts []string
+	for _, f := range keyFields {
+		if v, ok := p[f]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%v", f, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// throughput extracts the figure of merit; ok is false for points
+// without one (they are not gated).
+func throughput(p map[string]any) (float64, bool) {
+	v, ok := p["Throughput"].(float64)
+	return v, ok
+}
+
+// compareDocs gates current against baseline: every baseline point with
+// a throughput must still exist and must not have regressed by more than
+// tolerance (a fraction, e.g. 0.15). It returns the regression findings
+// and the number of points compared.
+func compareDocs(baseline, current benchDoc, tolerance float64) (regressions []string, compared int) {
+	cur := make(map[string]map[string]any, len(current.Points))
+	for _, p := range current.Points {
+		cur[pointKey(p)] = p
+	}
+	for _, bp := range baseline.Points {
+		base, ok := throughput(bp)
+		if !ok || base <= 0 {
+			continue
+		}
+		key := pointKey(bp)
+		cp, ok := cur[key]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: point [%s] missing from current run", baseline.Experiment, key))
+			continue
+		}
+		got, ok := throughput(cp)
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: point [%s] lost its Throughput field", baseline.Experiment, key))
+			continue
+		}
+		compared++
+		if got < base*(1-tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: point [%s] throughput %.2f is %.1f%% below baseline %.2f (tolerance %.0f%%)",
+					baseline.Experiment, key, got, 100*(1-got/base), base, 100*tolerance))
+		}
+	}
+	return regressions, compared
+}
+
+// readDoc parses one BENCH_*.json file.
+func readDoc(path string) (benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchDoc{}, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return benchDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// gateDirs compares every BENCH_*.json under baselineDir against its
+// namesake under currentDir.
+func gateDirs(baselineDir, currentDir string, tolerance float64) (regressions []string, compared int, err error) {
+	paths, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(paths) == 0 {
+		return nil, 0, fmt.Errorf("no BENCH_*.json baselines under %s", baselineDir)
+	}
+	sort.Strings(paths)
+	for _, bp := range paths {
+		baseline, err := readDoc(bp)
+		if err != nil {
+			return nil, 0, err
+		}
+		cp := filepath.Join(currentDir, filepath.Base(bp))
+		current, err := readDoc(cp)
+		if err != nil {
+			if os.IsNotExist(err) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: current artifact %s was not produced", baseline.Experiment, cp))
+				continue
+			}
+			return nil, 0, err
+		}
+		if baseline.SchemaVersion != current.SchemaVersion {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: schema %d vs baseline %d — refresh the baseline\n",
+				baseline.Experiment, current.SchemaVersion, baseline.SchemaVersion)
+		}
+		r, c := compareDocs(baseline, current, tolerance)
+		regressions = append(regressions, r...)
+		compared += c
+	}
+	return regressions, compared, nil
+}

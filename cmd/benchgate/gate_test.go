@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func doc(exp string, points []map[string]any) benchDoc {
+	return benchDoc{Experiment: exp, SchemaVersion: 1, Points: points}
+}
+
+func scalingPoints(thr1, thr4 float64) []map[string]any {
+	return []map[string]any{
+		{"Replicas": 1.0, "Dispatcher": "least-loaded", "Throughput": thr1},
+		{"Replicas": 4.0, "Dispatcher": "least-loaded", "Throughput": thr4},
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	baseline := doc("scaling", scalingPoints(10, 30))
+	// 10% below baseline on one point: inside the 15% tolerance.
+	current := doc("scaling", scalingPoints(9, 30))
+	regs, compared := compareDocs(baseline, current, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2", compared)
+	}
+}
+
+// TestGateFailsOnInflatedBaseline is the gate's own acceptance check: a
+// baseline whose throughput numbers were artificially inflated (here 2x
+// what the "run" produced) must demonstrably fail the comparison.
+func TestGateFailsOnInflatedBaseline(t *testing.T) {
+	current := doc("scaling", scalingPoints(10, 30))
+	inflated := doc("scaling", scalingPoints(20, 60))
+	regs, _ := compareDocs(inflated, current, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("inflated baseline produced %d regressions, want 2: %v", len(regs), regs)
+	}
+}
+
+func TestGateFailsOnMissingPoint(t *testing.T) {
+	baseline := doc("scaling", scalingPoints(10, 30))
+	current := doc("scaling", scalingPoints(10, 30)[:1])
+	regs, _ := compareDocs(baseline, current, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("missing point produced %d regressions, want 1: %v", len(regs), regs)
+	}
+}
+
+func TestGateKeysAcrossExperiments(t *testing.T) {
+	// Pressure-style points key on Policy+Oversub; same comparator.
+	base := doc("pressure", []map[string]any{
+		{"Policy": "lru", "Oversub": 3.0, "Throughput": 100.0},
+		{"Policy": "cost-aware", "Oversub": 3.0, "Throughput": 110.0},
+	})
+	cur := doc("pressure", []map[string]any{
+		{"Policy": "lru", "Oversub": 3.0, "Throughput": 101.0},
+		{"Policy": "cost-aware", "Oversub": 3.0, "Throughput": 50.0},
+	})
+	regs, compared := compareDocs(base, cur, 0.15)
+	if compared != 2 || len(regs) != 1 {
+		t.Fatalf("compared=%d regs=%v, want 2 compared and exactly the cost-aware regression", compared, regs)
+	}
+}
+
+// TestGateDirsEndToEnd exercises the directory walk against real files,
+// including the inflated-baseline failure path.
+func TestGateDirsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "baselines")
+	curDir := filepath.Join(dir, "out")
+	write := func(dir, name string, d benchDoc) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(baseDir, "BENCH_scaling.json", doc("scaling", scalingPoints(10, 30)))
+	write(curDir, "BENCH_scaling.json", doc("scaling", scalingPoints(10.5, 29)))
+	regs, compared, err := gateDirs(baseDir, curDir, 0.15)
+	if err != nil || len(regs) != 0 || compared != 2 {
+		t.Fatalf("healthy run: regs=%v compared=%d err=%v", regs, compared, err)
+	}
+
+	write(baseDir, "BENCH_scaling.json", doc("scaling", scalingPoints(100, 300)))
+	regs, _, err = gateDirs(baseDir, curDir, 0.15)
+	if err != nil || len(regs) != 2 {
+		t.Fatalf("inflated baseline: regs=%v err=%v, want 2 regressions", regs, err)
+	}
+
+	if _, _, err := gateDirs(filepath.Join(dir, "nope"), curDir, 0.15); err == nil {
+		t.Fatal("missing baseline dir did not error")
+	}
+}

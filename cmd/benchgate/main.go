@@ -1,0 +1,45 @@
+// Command benchgate is the CI bench-regression gate: it compares the
+// BENCH_<exp>.json artifacts a fresh symphony-bench run emitted against
+// the checked-in baselines and fails (exit 1) when any point's virtual
+// throughput regressed by more than the tolerance.
+//
+//	symphony-bench -exp scaling -quick -json-dir bench/out
+//	symphony-bench -exp pressure -quick -json-dir bench/out
+//	symphony-bench -exp migrate -quick -json-dir bench/out
+//	benchgate -baseline bench/baselines -current bench/out
+//
+// Points are matched by their identity fields (Replicas, Dispatcher,
+// Policy, Oversub, Families — whichever the experiment carries), so the
+// gate covers every experiment with one comparator. A baseline point
+// missing from the current run also fails: losing coverage is a
+// regression. To refresh baselines after an intentional perf change,
+// rerun the -quick experiments with -json-dir bench/baselines and commit
+// the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench/baselines", "directory of checked-in BENCH_*.json baselines")
+	current := flag.String("current", "bench/out", "directory of freshly produced BENCH_*.json artifacts")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional throughput regression per point")
+	flag.Parse()
+
+	regressions, compared, err := gateDirs(*baseline, *current, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%% tolerance:\n", len(regressions), 100**tolerance)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  FAIL", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d point(s) within %.0f%% of baseline\n", compared, 100**tolerance)
+}

@@ -111,8 +111,14 @@ func runRemote(base, user, scriptPath string, cancelAfter time.Duration) error {
 	}
 	fmt.Fprintf(os.Stderr, "---\njob %s: %s · %d pred tokens · virtual time %s\n",
 		job.JobID, job.Status, job.PredTokens, job.VirtualTime)
-	if final.Status == "failed" {
+	// Map the terminal status to the exit code: a program that failed or
+	// was cancelled must not exit 0, or scripts driving lip-run -remote
+	// would read every outcome as success.
+	switch final.Status {
+	case "failed":
 		return fmt.Errorf("remote program failed: %s", final.Err)
+	case "cancelled":
+		return fmt.Errorf("remote program cancelled")
 	}
 	return nil
 }

@@ -10,7 +10,7 @@
 //	symphony-bench -exp scaling -gpus 1,2,4,8 -dispatch cache-affinity
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
-// tot, editor, batching, overhead, scaling, pressure, all.
+// tot, editor, batching, overhead, scaling, pressure, migrate, all.
 //
 // The scaling experiment sweeps the batch scheduler across simulated GPU
 // replica counts (-gpus, a comma-separated list) under a saturating
@@ -25,10 +25,19 @@
 // reporting throughput, offload/restore counts, and the restored-token
 // cost each policy pays for evicting files that were still needed.
 //
-// The scaling and pressure experiments also write machine-readable
-// BENCH_scaling.json / BENCH_pressure.json artifacts into -json-dir
-// (default "."; empty disables), seeding the perf trajectory; see the
-// README for the schema.
+// The migrate experiment runs a skewed shared-prefix workload (every
+// fork family homed to replica 0 under static hashing) and compares
+// cache-affinity against cache-affinity-migrate, whose kernel engine
+// moves stranded prefixes over a simulated replica interconnect
+// (-interconnect-gbps) when the home replica is overloaded past
+// -migrate-threshold; the bar is >=1.5x virtual throughput at 4
+// replicas with locked and in-flight files never migrated.
+//
+// The scaling, pressure, and migrate experiments also write
+// machine-readable BENCH_<exp>.json artifacts into -json-dir (default
+// "."; empty disables), seeding the perf trajectory the CI bench gate
+// (cmd/benchgate) judges regressions against; see the README for the
+// schema.
 package main
 
 import (
@@ -46,7 +55,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|scaling|pressure|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|scaling|pressure|migrate|all)")
 	quick := flag.Bool("quick", false, "use reduced grids for a fast pass")
 	gpus := flag.String("gpus", "", "comma-separated GPU replica counts for -exp scaling (default 1,2,4,8)")
 	dispatch := flag.String("dispatch", "",
@@ -55,8 +64,12 @@ func main() {
 		"comma-separated KV eviction policies for -exp pressure ("+strings.Join(kvd.PolicyNames(), "|")+"; default all)")
 	kvHighWater := flag.Float64("kv-high-water", 0,
 		"GPU usage fraction that triggers KV reclaim for -exp pressure (default 0.90)")
+	interconnectGbps := flag.Float64("interconnect-gbps", 0,
+		"replica interconnect bandwidth in Gbit/s for -exp migrate (0 = netsim default)")
+	migrateThreshold := flag.Float64("migrate-threshold", 0,
+		"home-overload factor for -exp migrate (0 = core default)")
 	jsonDir := flag.String("json-dir", ".",
-		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure (empty disables)")
+		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate (empty disables)")
 	flag.Parse()
 
 	if _, err := sched.NewDispatcher(*dispatch); err != nil {
@@ -87,6 +100,7 @@ func main() {
 		{"overhead", runOverhead},
 		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch, *jsonDir) }},
 		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir) }},
+		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -224,6 +238,19 @@ func runPressure(quick bool, kvPolicy string, kvHighWater float64, jsonDir strin
 	writeBench(jsonDir, "pressure", cfg, pts)
 }
 
+func runMigrate(quick bool, gbps, threshold float64, jsonDir string) {
+	cfg := experiments.DefaultMigrate()
+	if quick {
+		cfg = experiments.QuickMigrate()
+	}
+	cfg.InterconnectGbps = gbps
+	cfg.Threshold = threshold
+	pts := experiments.RunMigrate(cfg)
+	tab := experiments.MigrateTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "migrate", cfg, pts)
+}
+
 // splitList parses a comma-separated flag value, trimming blanks.
 func splitList(s string) []string {
 	var out []string
@@ -235,10 +262,15 @@ func splitList(s string) []string {
 	return out
 }
 
-// writeBench persists one experiment's machine-readable artifact.
+// writeBench persists one experiment's machine-readable artifact,
+// creating the target directory if needed.
 func writeBench(dir, experiment string, cfg, points any) {
 	if dir == "" {
 		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	path := filepath.Join(dir, "BENCH_"+experiment+".json")
 	if err := experiments.WriteBenchJSON(path, experiment, cfg, points); err != nil {

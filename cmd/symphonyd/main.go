@@ -10,9 +10,14 @@
 //
 // The batch scheduler can drive several simulated GPUs: -gpus sets the
 // replica count and -dispatch selects how pred calls are routed across
-// them (round-robin, least-loaded, or cache-affinity, which pins forks of
-// one conversation to the replica holding their prefix). Per-replica
-// utilization is reported by /v1/stats.
+// them (round-robin, least-loaded, cache-affinity — which pins forks of
+// one conversation to the replica holding their prefix — or
+// cache-affinity-migrate, which additionally lets the kernel migrate a
+// stranded prefix's KV pages to a colder replica over a simulated
+// NVLink/IB-class interconnect: -interconnect-gbps sets the fabric
+// bandwidth, -migrate-threshold the home-overload factor, and each move
+// streams to the affected job as a kv_migrate event). Per-replica
+// utilization and the migration ledger are reported by /v1/stats.
 //
 // GPU KV memory is managed by the kernel memory daemon: -kv-policy
 // selects the eviction policy (lru, lfu, cost-aware, or none to disable)
@@ -42,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kvd"
 	"repro/internal/model"
+	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/simclock"
@@ -53,6 +59,10 @@ func main() {
 	gpus := flag.Int("gpus", 1, "number of simulated GPU replicas")
 	dispatch := flag.String("dispatch", "round-robin",
 		"replica dispatch policy ("+strings.Join(sched.DispatcherNames(), "|")+")")
+	interconnectGbps := flag.Float64("interconnect-gbps", netsim.DefaultInterconnectGbps,
+		"replica interconnect bandwidth in Gbit/s for -dispatch cache-affinity-migrate")
+	migrateThreshold := flag.Float64("migrate-threshold", core.DefaultMigrateThreshold,
+		"home-overload factor above which a prefix family migrates (cache-affinity-migrate)")
 	kvPolicy := flag.String("kv-policy", "lru",
 		"KV memory daemon eviction policy ("+strings.Join(kvd.PolicyNames(), "|")+"|none)")
 	kvHighWater := flag.Float64("kv-high-water", 0.90,
@@ -79,11 +89,13 @@ func main() {
 			"llama-13b": target,
 			"draft-1b":  model.New(model.AlignedDraft(target, 0.85)),
 		},
-		DefaultModel: "llama-13b",
-		Policy:       sched.DefaultPoisson(),
-		Replicas:     *gpus,
-		Dispatcher:   dispatcher,
-		KV:           kvCfg,
+		DefaultModel:     "llama-13b",
+		Policy:           sched.DefaultPoisson(),
+		Replicas:         *gpus,
+		Dispatcher:       dispatcher,
+		Interconnect:     netsim.InterconnectFromGbps(clk, *interconnectGbps),
+		MigrateThreshold: *migrateThreshold,
+		KV:               kvCfg,
 	})
 	kernel.RegisterTool("search", core.Tool{
 		Latency: 150 * time.Millisecond,

@@ -391,15 +391,26 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 	k.predTokens.Add(int64(len(toks)))
 
 	pstart := k.clk.Now()
-	k.gauge(stateRunning, stateInferWait)
 	// The affinity key is the file's root KV hash: forks of one
 	// conversation share it, so cache-aware dispatch keeps them on the
 	// replica already holding their prefix.
-	serr := k.sch.SubmitCall(sched.Call{
+	call := sched.Call{
 		Model:    resolvedName(k, modelName),
 		Tokens:   len(toks),
 		Affinity: uint64(f.Root()),
-	})
+	}
+	if k.mig != nil {
+		// Migration-aware dispatch: the engine pins the call to the
+		// family's current home, moving the prefix first (interconnect
+		// copy or destination recompute, charged here) when the home is
+		// overloaded. beginPred/endPred mark the file in flight so no
+		// concurrent call migrates it from under this one.
+		k.mig.beginPred(f)
+		defer k.mig.endPred(f)
+		k.mig.route(c, f, &call, m.Config().Cost)
+	}
+	k.gauge(stateRunning, stateInferWait)
+	serr := k.sch.SubmitCall(call)
 	k.gauge(stateInferWait, stateRunning)
 	if serr != nil {
 		return nil, serr

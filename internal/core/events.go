@@ -35,6 +35,11 @@ const (
 	// migrated to host), "restore" (brought back on access), or "park"
 	// (the process was cooperatively preempted); Text carries detail.
 	EventKVPressure EventKind = "kv_pressure"
+	// EventKVMigrate reports the kernel migration engine moving this
+	// process's prefix family between GPU replicas: Phase is "migrate"
+	// (pages copied over the interconnect) or "recompute" (prefix rebuilt
+	// on the destination inside the call's batch); Text carries detail.
+	EventKVMigrate EventKind = "kv_migrate"
 )
 
 // Status is a process lifecycle state.

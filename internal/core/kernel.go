@@ -34,6 +34,7 @@ import (
 	"repro/internal/kvfs"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/token"
@@ -85,7 +86,18 @@ type Config struct {
 	Replicas int
 	// Dispatcher routes pred calls across replicas; nil means
 	// round-robin. See sched.NewDispatcher for selection by name.
+	// Selecting *sched.CacheAffinityMigrate activates the kernel's
+	// cross-replica KV migration engine (see migrate.go).
 	Dispatcher sched.Dispatcher
+	// Interconnect models the replica-to-replica fabric the migration
+	// engine copies KV pages over; nil means netsim.DefaultInterconnect
+	// (NVLink/IB-class). Ignored without a migration-aware dispatcher.
+	Interconnect *netsim.Interconnect
+	// MigrateThreshold is the home-overload factor above which the
+	// migration engine moves a prefix family (default
+	// DefaultMigrateThreshold). Ignored without a migration-aware
+	// dispatcher.
+	MigrateThreshold float64
 	// OffloadThreshold is the minimum tool latency for which the kernel
 	// bothers offloading a waiting thread's KV pages (default 50ms).
 	OffloadThreshold time.Duration
@@ -110,6 +122,7 @@ type Kernel struct {
 	fs     *kvfs.FS
 	sch    *sched.Scheduler
 	kvd    *kvd.Daemon
+	mig    *migrator // nil without a migration-aware dispatcher
 	tok    *token.Tokenizer
 
 	offloadThreshold time.Duration
@@ -211,6 +224,13 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 	}
 	k.spaceEv = clk.NewEvent()
 	k.fs.SetReleaseHook(k.kvReleased)
+	if _, ok := cfg.Dispatcher.(*sched.CacheAffinityMigrate); ok {
+		ic := cfg.Interconnect
+		if ic == nil {
+			ic = netsim.DefaultInterconnect(clk)
+		}
+		k.mig = newMigrator(k, ic, cfg.MigrateThreshold)
+	}
 	return k
 }
 
@@ -344,6 +364,7 @@ type Stats struct {
 	Sched       sched.Stats
 	FS          kvfs.Stats
 	KVD         kvd.Stats
+	Migration   MigrationStats
 }
 
 // Stats returns a snapshot of counters.
@@ -359,6 +380,7 @@ func (k *Kernel) Stats() Stats {
 		Sched:       k.sch.Stats(),
 		FS:          k.fs.Stats(),
 		KVD:         k.kvd.Stats(),
+		Migration:   k.mig.stats(),
 	}
 }
 

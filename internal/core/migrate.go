@@ -1,0 +1,553 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kvfs"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// This file is the kernel's cross-replica KV migration engine, active
+// when the batch scheduler dispatches with cache-affinity-migrate.
+//
+// Cache-affinity dispatch (PR 1) pins every fork family to the replica
+// that first computed its prefix. That preserves KV locality but turns a
+// hot shared prefix into a replica hotspot: every family whose root
+// hashes there queues behind it while other replicas idle. The engine
+// un-strands those prefixes the way an OS migrates pages between NUMA
+// nodes:
+//
+//   - a global prefix index maps each root KV hash (the affinity key) to
+//     the replica currently holding the family's prefix pages, updated as
+//     files are appended to, forked, truncated, and removed;
+//   - every affinity-carrying pred is routed to the index's current home
+//     (sched.Call.Routed), so homes are dynamic rather than hash-static;
+//   - when the home is overloaded past the configured imbalance
+//     threshold, the engine either copies the file's KV pages to the
+//     least-loaded replica over the netsim.Interconnect — charging
+//     fabric time proportional to pages moved, holding the transient
+//     double residency against the KV pool, freeing the source copy, and
+//     informing the KV daemon's ledger — or, when re-prefilling is
+//     cheaper than the transfer (model.Cost), cold-starts the family
+//     there by recomputing the prefix inside the call's own batch;
+//   - files that are advisory-locked or have another pred in flight are
+//     never migrated, and migration is refused outright while the KV
+//     daemon reports pressure at or above its high-water mark
+//     (destination watermarks are respected).
+//
+// Placement decisions are pure (see decide) so policy is testable apart
+// from the machinery.
+
+// DefaultMigrateThreshold is the home-overload factor above which a
+// prefix family is moved: the home must carry more than this multiple of
+// the mean per-replica pending load.
+const DefaultMigrateThreshold = 1.5
+
+// migrateCooldown is the minimum virtual time between two moves of one
+// prefix family — hysteresis against a family ping-ponging between
+// replicas that are each "overloaded" only by the family itself.
+const migrateCooldown = 50 * time.Millisecond
+
+// migrateChoice is the outcome of one placement decision.
+type migrateChoice int
+
+const (
+	choiceStay migrateChoice = iota
+	choiceMigrate
+	choiceRecompute
+)
+
+// migrateDecision is everything the engine knows when an
+// affinity-carrying pred reaches routing. Loads are in pending tokens
+// (queued + in-flight), the unit the scheduler's ReplicaView exposes.
+type migrateDecision struct {
+	// HomeLoad / MinLoad / MeanLoad describe the load picture: the
+	// family's home replica, the least-loaded replica, and the mean.
+	HomeLoad int
+	MinLoad  int
+	MeanLoad float64
+	// RootsAtHome is how many distinct prefix families the index homes at
+	// the home replica.
+	RootsAtHome int
+	// Threshold is the configured imbalance factor.
+	Threshold float64
+	// Locked / InFlight mark files migration must never touch: an
+	// advisory lock holder may be mutating the file, and another
+	// in-flight pred is appending to it right now.
+	Locked   bool
+	InFlight bool
+	// PressureHigh is true while the KV daemon reports GPU usage at or
+	// above its high-water mark: a migration's transient double residency
+	// would push an already-reclaiming pool further over.
+	PressureHigh bool
+	// Cooldown is true while the family's last move is younger than
+	// migrateCooldown.
+	Cooldown bool
+	// TransferCost is the interconnect time to copy the file's pages;
+	// RecomputeCost the marginal prefill compute to rebuild them inside
+	// the call's own batch (tokens × PerToken — the batch is already
+	// paying the kernel launch).
+	TransferCost  time.Duration
+	RecomputeCost time.Duration
+	// GapBenefit is the queue time the call saves by running at the
+	// least-loaded replica instead of home: the pending-token gap priced
+	// at the model's per-token compute. A move must buy more than it
+	// costs, which is what lets a spread workload settle.
+	GapBenefit time.Duration
+}
+
+// overloadWantsMove is the load half of the policy: the home replica
+// carries multiple families (moving a replica's only family cannot
+// relieve it — its calls serialize on whichever replica holds the
+// prefix), is strictly above the least-loaded replica, and is past the
+// threshold multiple of the mean.
+func overloadWantsMove(in migrateDecision) bool {
+	if in.RootsAtHome < 2 || in.HomeLoad <= in.MinLoad {
+		return false
+	}
+	return in.MeanLoad > 0 && float64(in.HomeLoad) > in.Threshold*in.MeanLoad
+}
+
+// decide is the placement policy: stay home, migrate the prefix's pages
+// to the least-loaded replica, or cold-start there by recomputing. Pure
+// function of its input, so the policy is table-testable.
+func decide(in migrateDecision) migrateChoice {
+	if in.Locked || in.InFlight || in.PressureHigh || in.Cooldown {
+		return choiceStay
+	}
+	if !overloadWantsMove(in) {
+		return choiceStay
+	}
+	// Cost-benefit: moving must save more queueing than the move costs.
+	moveCost := in.TransferCost
+	if in.RecomputeCost < moveCost {
+		moveCost = in.RecomputeCost
+	}
+	if in.GapBenefit <= moveCost {
+		return choiceStay
+	}
+	if in.RecomputeCost < in.TransferCost {
+		return choiceRecompute
+	}
+	return choiceMigrate
+}
+
+// MigrationStats is a snapshot of the engine's counters; Enabled is
+// false (and everything zero) on kernels without the engine.
+type MigrationStats struct {
+	Enabled          bool
+	Threshold        float64
+	InterconnectGbps float64
+	// Roots is the number of live prefix families in the global index.
+	Roots int
+	// Migrations / MigratedTokens / MigratedPages / MigrateTime count
+	// page-copy moves and the fabric time they charged.
+	Migrations     int64
+	MigratedTokens int64
+	MigratedPages  int64
+	MigrateTime    time.Duration
+	// ColdStarts / RecomputedTokens count moves done by re-prefilling on
+	// the destination instead of transferring.
+	ColdStarts       int64
+	RecomputedTokens int64
+	// RefusedLocked / RefusedInFlight / RefusedPressure count moves the
+	// safety rules vetoed. Locked and in-flight files are never migrated.
+	RefusedLocked   int64
+	RefusedInFlight int64
+	RefusedPressure int64
+}
+
+// rootInfo is one prefix family's index entry.
+type rootInfo struct {
+	home     int
+	files    int
+	lastMove time.Duration
+	moved    bool
+}
+
+// prefixIndex is the kernel-level global prefix index: which replica
+// holds each root KV hash's prefix pages. It is maintained lazily from
+// the pred path (append), fork (children share the parent's root),
+// truncate (a root change re-registers the file), and remove (swept).
+type prefixIndex struct {
+	mu    sync.Mutex
+	roots map[model.CtxHash]*rootInfo
+	files map[*kvfs.File]model.CtxHash
+	// perHome counts live families per home replica, so the hot pred
+	// path reads the home's family count in O(1) instead of scanning
+	// every root.
+	perHome map[int]int
+	sinceGC int
+}
+
+func newPrefixIndex() *prefixIndex {
+	return &prefixIndex{
+		roots:   make(map[model.CtxHash]*rootInfo),
+		files:   make(map[*kvfs.File]model.CtxHash),
+		perHome: make(map[int]int),
+	}
+}
+
+// observe registers (or re-registers, after truncate changed the root) f
+// under root, homing new roots at def, and reports the family's current
+// home plus how many families share that home replica.
+func (x *prefixIndex) observe(f *kvfs.File, root model.CtxHash, def int) (home, rootsAtHome int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.sinceGC++; x.sinceGC >= 64 {
+		x.sinceGC = 0
+		x.gcLocked()
+	}
+	if prev, ok := x.files[f]; ok && prev != root {
+		x.dropFileLocked(f, prev)
+	}
+	if _, ok := x.files[f]; !ok {
+		x.files[f] = root
+		ri, ok := x.roots[root]
+		if !ok {
+			ri = &rootInfo{home: def}
+			x.roots[root] = ri
+			x.perHome[def]++
+		}
+		ri.files++
+	}
+	ri := x.roots[root]
+	return ri.home, x.perHome[ri.home]
+}
+
+// setHome records a completed move of root's family to replica to.
+func (x *prefixIndex) setHome(root model.CtxHash, to int, now time.Duration) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if ri, ok := x.roots[root]; ok {
+		x.dropHomeLocked(ri.home)
+		x.perHome[to]++
+		ri.home = to
+		ri.lastMove = now
+		ri.moved = true
+	}
+}
+
+func (x *prefixIndex) dropHomeLocked(home int) {
+	if x.perHome[home]--; x.perHome[home] <= 0 {
+		delete(x.perHome, home)
+	}
+}
+
+// cooling reports whether root's family moved less than migrateCooldown
+// of virtual time ago.
+func (x *prefixIndex) cooling(root model.CtxHash, now time.Duration) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ri, ok := x.roots[root]
+	return ok && ri.moved && now-ri.lastMove < migrateCooldown
+}
+
+// home reports the family's current home replica.
+func (x *prefixIndex) home(root model.CtxHash) (int, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ri, ok := x.roots[root]
+	if !ok {
+		return 0, false
+	}
+	return ri.home, true
+}
+
+// size reports the number of live families, sweeping removed files.
+func (x *prefixIndex) size() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.gcLocked()
+	return len(x.roots)
+}
+
+// gcLocked drops entries for removed files; a root with no remaining
+// files leaves the index (its pages are gone, there is nothing to home).
+func (x *prefixIndex) gcLocked() {
+	for f, root := range x.files {
+		if f.Removed() {
+			x.dropFileLocked(f, root)
+		}
+	}
+}
+
+func (x *prefixIndex) dropFileLocked(f *kvfs.File, root model.CtxHash) {
+	delete(x.files, f)
+	if ri, ok := x.roots[root]; ok {
+		if ri.files--; ri.files <= 0 {
+			delete(x.roots, root)
+			x.dropHomeLocked(ri.home)
+		}
+	}
+}
+
+// migrator is the migration engine instance hanging off a kernel.
+type migrator struct {
+	k         *Kernel
+	ic        *netsim.Interconnect
+	threshold float64
+	idx       *prefixIndex
+
+	mu       sync.Mutex
+	inflight map[*kvfs.File]int
+	// pendingMove[replica] is the KV tokens of migrations currently in
+	// flight toward that replica. Concurrent placement decisions add it
+	// to the replica's viewed load, so a burst of decisions does not herd
+	// every family onto the momentarily-idlest replica.
+	pendingMove map[int]int
+
+	migrations      int64
+	migratedTokens  int64
+	migratedPages   int64
+	migrateTime     time.Duration
+	coldStarts      int64
+	recomputedTok   int64
+	refusedLocked   int64
+	refusedInFlight int64
+	refusedPressure int64
+}
+
+func newMigrator(k *Kernel, ic *netsim.Interconnect, threshold float64) *migrator {
+	if threshold <= 0 {
+		threshold = DefaultMigrateThreshold
+	}
+	return &migrator{
+		k:           k,
+		ic:          ic,
+		threshold:   threshold,
+		idx:         newPrefixIndex(),
+		inflight:    make(map[*kvfs.File]int),
+		pendingMove: make(map[int]int),
+	}
+}
+
+// beginPred / endPred bracket one pred call's use of f, so the engine
+// can refuse to migrate a file some other call is appending to right
+// now. The tracking is independent of the KV daemon (which may be off).
+func (m *migrator) beginPred(f *kvfs.File) {
+	m.mu.Lock()
+	m.inflight[f]++
+	m.mu.Unlock()
+}
+
+func (m *migrator) endPred(f *kvfs.File) {
+	m.mu.Lock()
+	if m.inflight[f]--; m.inflight[f] <= 0 {
+		delete(m.inflight, f)
+	}
+	m.mu.Unlock()
+}
+
+// otherInFlight reports whether a pred other than the caller's own
+// (which has already passed beginPred) is using f.
+func (m *migrator) otherInFlight(f *kvfs.File) bool {
+	m.mu.Lock()
+	n := m.inflight[f]
+	m.mu.Unlock()
+	return n > 1 || m.k.kvd.Pins(f) > 1
+}
+
+// route places one affinity-carrying pred call: it pins the call to the
+// family's current home and, when the home is overloaded, moves the
+// family first — copying pages over the interconnect (charged to the
+// calling actor) or scheduling a recompute inside the call itself. It
+// must run on the calling thread's clock actor.
+func (m *migrator) route(c *Ctx, f *kvfs.File, call *sched.Call, cost model.CostModel) {
+	root := model.CtxHash(call.Affinity)
+	if root == 0 {
+		return
+	}
+	views := m.k.sch.Views()
+	n := len(views)
+	if n < 2 {
+		return
+	}
+	home, rootsAtHome := m.idx.observe(f, root, int(uint64(root)%uint64(n)))
+	call.Routed, call.Target = true, home
+
+	// Load picture: pending tokens per replica (scheduler view plus KV
+	// tokens already migrating toward the replica), min and mean.
+	loads := make([]int, n)
+	m.mu.Lock()
+	for i, v := range views {
+		loads[i] = v.PendingTokens() + m.pendingMove[i]
+	}
+	m.mu.Unlock()
+	total, minID := 0, 0
+	for i, l := range loads {
+		total += l
+		if l < loads[minID] {
+			minID = i
+		}
+	}
+	if minID == home {
+		return
+	}
+	span, spanErr := f.ExportPages()
+	// The span is the whole file, taken after this call's append; the
+	// prefix a cold start would have to rebuild excludes the call's own
+	// tokens (they are prefilled on the destination under either choice).
+	prefixTokens := span.Tokens - call.Tokens
+	if prefixTokens < 0 {
+		prefixTokens = 0
+	}
+	in := migrateDecision{
+		HomeLoad:      loads[home],
+		MinLoad:       loads[minID],
+		MeanLoad:      float64(total) / float64(n),
+		RootsAtHome:   rootsAtHome,
+		Threshold:     m.threshold,
+		Locked:        f.LockedBy() != "",
+		InFlight:      m.otherInFlight(f),
+		PressureHigh:  m.pressureHigh(),
+		Cooldown:      m.idx.cooling(root, m.k.clk.Now()),
+		TransferCost:  m.ic.PageTransferTime(span.Pages, m.k.fs.PageBytes()),
+		RecomputeCost: time.Duration(prefixTokens) * cost.PerToken,
+		GapBenefit:    time.Duration(loads[home]-loads[minID]) * cost.PerToken,
+	}
+	choice := decide(in)
+	if choice != choiceStay && spanErr != nil {
+		// ExportPages vetoed what the load picture wanted (lock/residency
+		// raced in); the family stays put.
+		choice = choiceStay
+	}
+	switch choice {
+	case choiceStay:
+		m.noteRefusal(in)
+		return
+	case choiceMigrate:
+		if !m.transfer(c, f, root, span, home, minID) {
+			return
+		}
+	case choiceRecompute:
+		// Cold start: the destination replica rebuilds the prefix inside
+		// this call's own batch — the tokens ride along and the batch
+		// pays their prefill compute there.
+		call.Tokens += prefixTokens
+		m.idx.setHome(root, minID, m.k.clk.Now())
+		m.mu.Lock()
+		m.coldStarts++
+		m.recomputedTok += int64(prefixTokens)
+		m.mu.Unlock()
+		c.p.publish(ProcEvent{Kind: EventKVMigrate, Phase: "recompute",
+			Text: fmt.Sprintf("%d tokens recomputed, replica %d -> %d", prefixTokens, home, minID)})
+	}
+	call.Target = minID
+}
+
+// transfer copies span over the interconnect: reserve the destination
+// copy (double residency), serialize the pages, release the source copy,
+// rehome the family, and settle the ledgers. Returns false if the pool
+// could not admit the destination copy or the transfer was interrupted.
+func (m *migrator) transfer(c *Ctx, f *kvfs.File, root model.CtxHash, span kvfs.PageSpan, from, to int) bool {
+	k := m.k
+	if err := k.fs.ReserveMigration(span.Pages); err != nil {
+		m.mu.Lock()
+		m.refusedPressure++
+		m.mu.Unlock()
+		return false
+	}
+	m.mu.Lock()
+	m.pendingMove[to] += span.Tokens
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		if m.pendingMove[to] -= span.Tokens; m.pendingMove[to] <= 0 {
+			delete(m.pendingMove, to)
+		}
+		m.mu.Unlock()
+	}()
+	start := k.clk.Now()
+	if err := m.ic.TransferPages(span.Pages, k.fs.PageBytes()); err != nil {
+		k.fs.ReleaseMigration(span.Pages) // abort: drop the destination copy
+		return false
+	}
+	k.fs.ReleaseMigration(span.Pages) // landed: the source copy is freed
+	d := k.clk.Now() - start
+	m.idx.setHome(root, to, k.clk.Now())
+	k.kvd.NoteMigrate(f, span.Tokens, d)
+	m.mu.Lock()
+	m.migrations++
+	m.migratedTokens += int64(span.Tokens)
+	m.migratedPages += int64(span.Pages)
+	m.migrateTime += d
+	m.mu.Unlock()
+	k.tracer.Span(trace.Event{
+		At: start, Dur: d, PID: c.p.pid, TID: c.tid,
+		Kind:   trace.KindMigrate,
+		Detail: fmt.Sprintf("migrate %d tokens r%d->r%d", span.Tokens, from, to),
+	})
+	c.p.publish(ProcEvent{Kind: EventKVMigrate, Phase: "migrate",
+		Text: fmt.Sprintf("%d tokens (%d pages), replica %d -> %d, %v",
+			span.Tokens, span.Pages, from, to, d.Round(time.Microsecond))})
+	return true
+}
+
+// noteRefusal attributes a vetoed move to the safety rule that fired.
+func (m *migrator) noteRefusal(in migrateDecision) {
+	// Only count vetoes of moves the load picture actually wanted.
+	if !overloadWantsMove(in) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case in.Locked:
+		m.refusedLocked++
+	case in.InFlight:
+		m.refusedInFlight++
+	case in.PressureHigh:
+		m.refusedPressure++
+	}
+}
+
+// pressureHigh reports whether the KV daemon is at or above its
+// high-water mark (always false without a daemon).
+func (m *migrator) pressureHigh() bool {
+	d := m.k.kvd
+	if !d.Enabled() {
+		return false
+	}
+	return d.Pressure() >= d.Config().HighWater
+}
+
+// stats snapshots the engine counters (nil-safe: the zero value reports
+// a disabled engine).
+func (m *migrator) stats() MigrationStats {
+	if m == nil {
+		return MigrationStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MigrationStats{
+		Enabled:          true,
+		Threshold:        m.threshold,
+		InterconnectGbps: m.ic.Gbps(),
+		Roots:            m.idx.size(),
+		Migrations:       m.migrations,
+		MigratedTokens:   m.migratedTokens,
+		MigratedPages:    m.migratedPages,
+		MigrateTime:      m.migrateTime,
+		ColdStarts:       m.coldStarts,
+		RecomputedTokens: m.recomputedTok,
+		RefusedLocked:    m.refusedLocked,
+		RefusedInFlight:  m.refusedInFlight,
+		RefusedPressure:  m.refusedPressure,
+	}
+}
+
+// PrefixHome reports which replica the kernel's global prefix index
+// currently homes the given root KV hash at; ok is false when the kernel
+// has no migration engine or the family is unknown.
+func (k *Kernel) PrefixHome(root model.CtxHash) (replica int, ok bool) {
+	if k.mig == nil {
+		return 0, false
+	}
+	return k.mig.idx.home(root)
+}

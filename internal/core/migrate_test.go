@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMigrateDecisionTable exercises the placement policy the migration
+// engine applies to every affinity-carrying pred: when to stay on the
+// home replica, when to copy the prefix's pages over the interconnect,
+// and when to cold-start by recomputing on the destination.
+func TestMigrateDecisionTable(t *testing.T) {
+	// A clearly overloaded home the policy would otherwise move away
+	// from: 2 families at home, home 10x the min, big queueing benefit.
+	overloaded := migrateDecision{
+		HomeLoad:      2000,
+		MinLoad:       200,
+		MeanLoad:      700,
+		RootsAtHome:   2,
+		Threshold:     1.5,
+		TransferCost:  10 * time.Millisecond,
+		RecomputeCost: 100 * time.Millisecond,
+		GapBenefit:    500 * time.Millisecond,
+	}
+	mod := func(fn func(*migrateDecision)) migrateDecision {
+		in := overloaded
+		fn(&in)
+		return in
+	}
+
+	cases := []struct {
+		name string
+		in   migrateDecision
+		want migrateChoice
+	}{
+		{
+			// An expensive prefix (long, costly to re-prefill) is worth
+			// the fabric copy.
+			name: "expensive prefix migrates",
+			in:   overloaded,
+			want: choiceMigrate,
+		},
+		{
+			// A cheap prefix (re-prefill costs less than serializing the
+			// pages over the wire) cold-starts on the destination.
+			name: "cheap prefix recomputes",
+			in: mod(func(in *migrateDecision) {
+				in.TransferCost = 100 * time.Millisecond
+				in.RecomputeCost = 10 * time.Millisecond
+			}),
+			want: choiceRecompute,
+		},
+		{
+			name: "locked file stays home",
+			in:   mod(func(in *migrateDecision) { in.Locked = true }),
+			want: choiceStay,
+		},
+		{
+			name: "in-flight file stays home",
+			in:   mod(func(in *migrateDecision) { in.InFlight = true }),
+			want: choiceStay,
+		},
+		{
+			name: "destination pressure refuses the move",
+			in:   mod(func(in *migrateDecision) { in.PressureHigh = true }),
+			want: choiceStay,
+		},
+		{
+			name: "cooldown holds a recently moved family",
+			in:   mod(func(in *migrateDecision) { in.Cooldown = true }),
+			want: choiceStay,
+		},
+		{
+			// A replica's only family cannot be usefully moved: its calls
+			// serialize on whichever replica holds the prefix.
+			name: "lone family stays home",
+			in:   mod(func(in *migrateDecision) { in.RootsAtHome = 1 }),
+			want: choiceStay,
+		},
+		{
+			name: "balanced load stays home",
+			in: mod(func(in *migrateDecision) {
+				in.HomeLoad, in.MinLoad, in.MeanLoad = 700, 650, 675
+			}),
+			want: choiceStay,
+		},
+		{
+			name: "home already least loaded stays",
+			in: mod(func(in *migrateDecision) {
+				in.HomeLoad, in.MinLoad = 200, 200
+			}),
+			want: choiceStay,
+		},
+		{
+			// Overloaded by the threshold test, but the queueing saved is
+			// smaller than the cheapest move: not worth it.
+			name: "move costing more than it saves stays",
+			in: mod(func(in *migrateDecision) {
+				in.GapBenefit = 5 * time.Millisecond
+			}),
+			want: choiceStay,
+		},
+		{
+			name: "idle system stays home",
+			in: mod(func(in *migrateDecision) {
+				in.HomeLoad, in.MinLoad, in.MeanLoad = 0, 0, 0
+			}),
+			want: choiceStay,
+		},
+	}
+	for _, tc := range cases {
+		if got := decide(tc.in); got != tc.want {
+			t.Errorf("%s: decide = %v, want %v (in: %+v)", tc.name, got, tc.want, tc.in)
+		}
+	}
+}

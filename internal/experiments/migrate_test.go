@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestMigrateRecoversSkewedThroughput is the acceptance bar for the
+// cross-replica KV migration subsystem: on a skewed shared-prefix
+// workload at 4 replicas — every family's root homes to replica 0 under
+// static hashing — cache-affinity-migrate must reach at least 1.5x the
+// virtual throughput of plain cache-affinity, must actually migrate,
+// and must never move the advisory-locked holdout family.
+func TestMigrateRecoversSkewedThroughput(t *testing.T) {
+	cfg := QuickMigrate()
+	pts := RunMigrate(cfg)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	var affinity, migrate *MigratePoint
+	for i := range pts {
+		switch pts[i].Dispatcher {
+		case "cache-affinity":
+			affinity = &pts[i]
+		case "cache-affinity-migrate":
+			migrate = &pts[i]
+		}
+	}
+	if affinity == nil || migrate == nil {
+		t.Fatalf("missing dispatcher rows: %+v", pts)
+	}
+
+	wantReqs := cfg.Families * cfg.ClientsPerFamily * cfg.RequestsPerClient
+	for _, p := range []*MigratePoint{affinity, migrate} {
+		if p.Completed != wantReqs {
+			t.Errorf("%s completed %d of %d requests", p.Dispatcher, p.Completed, wantReqs)
+		}
+	}
+
+	if affinity.Migrations != 0 || affinity.ColdStarts != 0 {
+		t.Errorf("plain cache-affinity moved families: %+v", affinity)
+	}
+	if migrate.Migrations+migrate.ColdStarts == 0 {
+		t.Errorf("cache-affinity-migrate never moved a family: %+v", migrate)
+	}
+	if migrate.Throughput < 1.5*affinity.Throughput {
+		t.Errorf("migrate throughput %.2f < 1.5x affinity %.2f (speedup %.2fx)",
+			migrate.Throughput, affinity.Throughput, migrate.Speedup)
+	}
+	// The skewed workload leaves replica 0 the only busy replica under
+	// plain affinity; migration must spread utilization.
+	if migrate.UtilMin <= affinity.UtilMin {
+		t.Errorf("migration did not lift the idlest replica: util-min %.2f (affinity %.2f)",
+			migrate.UtilMin, affinity.UtilMin)
+	}
+
+	// Locked and in-flight files are never migrated: the locked holdout
+	// family's home must not have changed under either dispatcher.
+	for _, p := range []*MigratePoint{affinity, migrate} {
+		if p.LockedFamilyMoved {
+			t.Errorf("%s migrated the advisory-locked family", p.Dispatcher)
+		}
+	}
+}

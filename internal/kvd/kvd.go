@@ -127,6 +127,13 @@ type Stats struct {
 	// longest-idle process plus self-preemptions (a stalled pred swapping
 	// out its own residency to break an allocation standoff).
 	Preemptions int64
+	// Migrations / MigratedTokens / MigratedCost are the cross-replica
+	// ledger: files the kernel's migration engine copied between replicas
+	// over the interconnect (source pages freed after the copy), the KV
+	// tokens moved, and the fabric time charged for them.
+	Migrations     int64
+	MigratedTokens int64
+	MigratedCost   time.Duration
 }
 
 type entry struct {
@@ -170,6 +177,9 @@ type Daemon struct {
 	swapRestoredTok int64
 	swapRestoredC   time.Duration
 	preemptions     int64
+	migrations      int64
+	migratedTokens  int64
+	migratedCost    time.Duration
 }
 
 // New assembles a daemon over fs, costing restores and recomputes with
@@ -311,6 +321,41 @@ func (d *Daemon) Unpin(f *kvfs.File) {
 	defer d.mu.Unlock()
 	if e, ok := d.entries[f]; ok && e.pins > 0 {
 		e.pins--
+	}
+}
+
+// Pins reports the file's current in-flight pin count (0 for files the
+// daemon does not track). The migration engine uses it to refuse moving
+// a file another pred is using right now.
+func (d *Daemon) Pins(f *kvfs.File) int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[f]; ok {
+		return e.pins
+	}
+	return 0
+}
+
+// NoteMigrate records a cross-replica migration in the daemon ledger:
+// tokens of KV copied over the interconnect in cost fabric time, with
+// the source replica's pages freed once the copy landed. The owning
+// process hears about it through the kernel's kv_migrate event, not the
+// daemon's notify channel.
+func (d *Daemon) NoteMigrate(f *kvfs.File, tokens int, cost time.Duration) {
+	if d == nil || tokens <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.migrations++
+	d.migratedTokens += int64(tokens)
+	d.migratedCost += cost
+	if e, ok := d.entries[f]; ok {
+		// A migrated file arrives hot on its new replica.
+		e.lastAccess = d.clk.Now()
 	}
 }
 
@@ -597,5 +642,8 @@ func (d *Daemon) Stats() Stats {
 		SwapRestoredTokens: d.swapRestoredTok,
 		SwapRestoredCost:   d.swapRestoredC,
 		Preemptions:        d.preemptions,
+		Migrations:         d.migrations,
+		MigratedTokens:     d.migratedTokens,
+		MigratedCost:       d.migratedCost,
 	}
 }

@@ -73,3 +73,65 @@ func (l *Link) TransferTime(n int) time.Duration {
 	}
 	return d
 }
+
+// Interconnect defaults: an NVLink/InfiniBand-class intra-cluster fabric,
+// three orders of magnitude faster than the WAN client link above.
+const (
+	// DefaultInterconnectRTT is a same-rack GPU-to-GPU round trip.
+	DefaultInterconnectRTT = 10 * time.Microsecond
+	// DefaultInterconnectGbps is an IB-HDR-class 100 Gbit/s link.
+	DefaultInterconnectGbps = 100.0
+)
+
+// Interconnect is the replica-to-replica GPU fabric KV migration crosses:
+// the same RTT+bandwidth timing model as a client Link, but sized for
+// NVLink/IB-class hardware and addressed in fixed-size KV pages rather
+// than request bytes. One migration is one one-way crossing: half the RTT
+// of propagation plus serialization of every page at link bandwidth.
+type Interconnect struct {
+	link *Link
+}
+
+// NewInterconnect returns a fabric link with the given RTT and bandwidth
+// on clock clk. bytesPerSec <= 0 means infinite bandwidth.
+func NewInterconnect(clk *simclock.Clock, rtt time.Duration, bytesPerSec int64) *Interconnect {
+	return &Interconnect{link: New(clk, rtt, bytesPerSec)}
+}
+
+// InterconnectFromGbps returns a fabric link with the default RTT and the
+// given bandwidth in Gbit/s; gbps <= 0 selects DefaultInterconnectGbps.
+func InterconnectFromGbps(clk *simclock.Clock, gbps float64) *Interconnect {
+	if gbps <= 0 {
+		gbps = DefaultInterconnectGbps
+	}
+	return NewInterconnect(clk, DefaultInterconnectRTT, int64(gbps*1e9/8))
+}
+
+// DefaultInterconnect returns a fabric link with NVLink/IB-class defaults.
+func DefaultInterconnect(clk *simclock.Clock) *Interconnect {
+	return InterconnectFromGbps(clk, DefaultInterconnectGbps)
+}
+
+// Gbps reports the configured bandwidth in Gbit/s (0 = infinite).
+func (ic *Interconnect) Gbps() float64 {
+	return float64(ic.link.BytesPerSec) * 8 / 1e9
+}
+
+// PageTransferTime reports the one-way time to move pages fixed-size KV
+// pages of pageBytes each, without sleeping. Time is proportional to the
+// page count on top of the propagation floor.
+func (ic *Interconnect) PageTransferTime(pages int, pageBytes int64) time.Duration {
+	if pages <= 0 {
+		return 0
+	}
+	return ic.link.TransferTime(int(int64(pages) * pageBytes))
+}
+
+// TransferPages charges the calling actor for moving pages KV pages of
+// pageBytes each across the fabric.
+func (ic *Interconnect) TransferPages(pages int, pageBytes int64) error {
+	if pages <= 0 {
+		return nil
+	}
+	return ic.link.OneWay(int(int64(pages) * pageBytes))
+}

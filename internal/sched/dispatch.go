@@ -16,6 +16,12 @@ type Call struct {
 	Model    string
 	Tokens   int
 	Affinity uint64 // 0 = no affinity
+	// Routed, when true, pins the call to replica Target, bypassing the
+	// dispatcher. The kernel's KV migration engine sets it after deciding
+	// placement from its global prefix index and the live load views;
+	// ordinary callers leave it false.
+	Routed bool
+	Target int
 }
 
 // ReplicaView is a dispatcher's snapshot of one replica's load at
@@ -36,9 +42,9 @@ type ReplicaView struct {
 	Now time.Duration
 }
 
-// pendingTokens is the replica's virtual queue length in token units:
+// PendingTokens is the replica's virtual queue length in token units:
 // everything submitted to it that the GPU has not finished.
-func (v ReplicaView) pendingTokens() int { return v.QueuedTokens + v.InflightTokens }
+func (v ReplicaView) PendingTokens() int { return v.QueuedTokens + v.InflightTokens }
 
 // busyHorizon is how far into the future the replica's current step runs.
 func (v ReplicaView) busyHorizon() time.Duration {
@@ -97,9 +103,9 @@ func (LeastLoaded) Pick(_ Call, views []ReplicaView) int {
 	for i := 1; i < len(views); i++ {
 		b, v := views[best], views[i]
 		switch {
-		case v.pendingTokens() < b.pendingTokens():
+		case v.PendingTokens() < b.PendingTokens():
 			best = i
-		case v.pendingTokens() == b.pendingTokens() && v.busyHorizon() < b.busyHorizon():
+		case v.PendingTokens() == b.PendingTokens() && v.busyHorizon() < b.busyHorizon():
 			best = i
 		}
 	}
@@ -130,13 +136,39 @@ func (d *CacheAffinity) Pick(c Call, views []ReplicaView) int {
 	return fb.Pick(c, views)
 }
 
+// CacheAffinityMigrate is cache-affinity with cross-replica KV migration:
+// the same routing contract as CacheAffinity — affinity keys pin to a
+// home replica, keyless calls fall back — but the home is dynamic. On a
+// kernel, the migration engine (internal/core) owns placement: it tracks
+// homes in its global prefix index, moves a hot prefix's KV pages to a
+// colder replica over the interconnect when the home is overloaded, and
+// pins each call to the index's current home via Call.Routed/Target, so
+// Pick only ever sees the calls the engine chose not to route (keyless
+// ones, and affinity calls before the engine first observed their root).
+// Standalone — on a scheduler without a kernel — it degrades to exactly
+// CacheAffinity's static hashing.
+type CacheAffinityMigrate struct {
+	Fallback Dispatcher
+}
+
+// Name implements Dispatcher.
+func (*CacheAffinityMigrate) Name() string { return "cache-affinity-migrate" }
+
+// Pick implements Dispatcher by delegating to CacheAffinity's static
+// hashing — the standalone degradation the type comment describes.
+func (d *CacheAffinityMigrate) Pick(c Call, views []ReplicaView) int {
+	ca := CacheAffinity{Fallback: d.Fallback}
+	return ca.Pick(c, views)
+}
+
 // dispatcherFactories maps policy names (as accepted by the -dispatch
 // flags) to constructors. Stateful dispatchers need a fresh value per
 // scheduler, hence factories rather than instances.
 var dispatcherFactories = map[string]func() Dispatcher{
-	"round-robin":    func() Dispatcher { return NewRoundRobin() },
-	"least-loaded":   func() Dispatcher { return LeastLoaded{} },
-	"cache-affinity": func() Dispatcher { return &CacheAffinity{} },
+	"round-robin":            func() Dispatcher { return NewRoundRobin() },
+	"least-loaded":           func() Dispatcher { return LeastLoaded{} },
+	"cache-affinity":         func() Dispatcher { return &CacheAffinity{} },
+	"cache-affinity-migrate": func() Dispatcher { return &CacheAffinityMigrate{} },
 }
 
 // DispatcherNames lists the registered dispatcher policy names, sorted.

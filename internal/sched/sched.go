@@ -410,11 +410,14 @@ func (s *Scheduler) Admit() error {
 	return nil
 }
 
-// route asks the dispatcher for a replica, clamping out-of-range answers.
-func (s *Scheduler) route(meta Call, now time.Duration) *replica {
-	if len(s.replicas) == 1 {
-		return s.replicas[0]
-	}
+// Views snapshots every replica's load at the current virtual time, in
+// replica-ID order — the same view slice dispatchers Pick from. The
+// kernel's migration engine reads it to judge home-replica overload.
+func (s *Scheduler) Views() []ReplicaView {
+	return s.views(s.clk.Now())
+}
+
+func (s *Scheduler) views(now time.Duration) []ReplicaView {
 	views := make([]ReplicaView, len(s.replicas))
 	for i, r := range s.replicas {
 		r.mu.Lock()
@@ -428,7 +431,22 @@ func (s *Scheduler) route(meta Call, now time.Duration) *replica {
 		}
 		r.mu.Unlock()
 	}
-	idx := s.dispatcher.Pick(meta, views)
+	return views
+}
+
+// route picks the call's replica: an explicitly routed call goes where
+// its router pinned it, everything else is the dispatcher's choice.
+// Out-of-range answers are clamped.
+func (s *Scheduler) route(meta Call, now time.Duration) *replica {
+	if len(s.replicas) == 1 {
+		return s.replicas[0]
+	}
+	idx := 0
+	if meta.Routed {
+		idx = meta.Target
+	} else {
+		idx = s.dispatcher.Pick(meta, s.views(now))
+	}
 	if idx < 0 || idx >= len(s.replicas) {
 		idx = ((idx % len(s.replicas)) + len(s.replicas)) % len(s.replicas)
 	}

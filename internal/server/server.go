@@ -218,6 +218,21 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			"swap_restored_cost": st.KVD.SwapRestoredCost.String(),
 			"preemptions":        st.KVD.Preemptions,
 		},
+		"migration": map[string]any{
+			"enabled":           st.Migration.Enabled,
+			"threshold":         st.Migration.Threshold,
+			"interconnect_gbps": st.Migration.InterconnectGbps,
+			"prefix_roots":      st.Migration.Roots,
+			"migrations":        st.Migration.Migrations,
+			"migrated_tokens":   st.Migration.MigratedTokens,
+			"migrated_pages":    st.Migration.MigratedPages,
+			"migrate_time":      st.Migration.MigrateTime.String(),
+			"cold_starts":       st.Migration.ColdStarts,
+			"recomputed_tokens": st.Migration.RecomputedTokens,
+			"refused_locked":    st.Migration.RefusedLocked,
+			"refused_inflight":  st.Migration.RefusedInFlight,
+			"refused_pressure":  st.Migration.RefusedPressure,
+		},
 		"replicas":     replicas,
 		"virtual_time": s.clk.Now().String(),
 	})

@@ -24,6 +24,7 @@ const (
 	KindPred    Kind = "pred"    // one pred syscall (queue + GPU time)
 	KindTool    Kind = "tool"    // external interaction wait
 	KindRestore Kind = "restore" // KV host→GPU migration
+	KindMigrate Kind = "migrate" // KV replica→replica migration
 	KindLock    Kind = "lock"    // advisory lock wait
 )
 
