@@ -72,9 +72,13 @@ func compareDocs(baseline, current benchDoc, tolerance float64) (regressions []s
 		}
 		compared++
 		if got < base*(1-tolerance) {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: point [%s] throughput %.2f is %.1f%% below baseline %.2f (tolerance %.0f%%)",
-					baseline.Experiment, key, got, 100*(1-got/base), base, 100*tolerance))
+			// Baseline and fresh values side by side, so the offending
+			// point is diagnosable straight from the CI log.
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: point [%s] regressed %.1f%% (tolerance %.0f%%)\n"+
+					"       baseline throughput: %10.2f\n"+
+					"       fresh throughput:    %10.2f",
+				baseline.Experiment, key, 100*(1-got/base), 100*tolerance, base, got))
 		}
 	}
 	return regressions, compared

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -40,6 +41,16 @@ func TestGateFailsOnInflatedBaseline(t *testing.T) {
 	regs, _ := compareDocs(inflated, current, 0.15)
 	if len(regs) != 2 {
 		t.Fatalf("inflated baseline produced %d regressions, want 2: %v", len(regs), regs)
+	}
+	// The failure output shows the baseline and fresh values side by
+	// side, so CI logs are diagnosable without rerunning locally.
+	for _, r := range regs {
+		if !strings.Contains(r, "baseline throughput") || !strings.Contains(r, "fresh throughput") {
+			t.Fatalf("regression lacks side-by-side values: %q", r)
+		}
+	}
+	if !strings.Contains(regs[0], "20.00") || !strings.Contains(regs[0], "10.00") {
+		t.Fatalf("regression does not print both values: %q", regs[0])
 	}
 }
 

@@ -10,7 +10,7 @@
 //	symphony-bench -exp scaling -gpus 1,2,4,8 -dispatch cache-affinity
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
-// tot, editor, batching, overhead, scaling, pressure, migrate, all.
+// tot, editor, batching, overhead, scaling, pressure, migrate, slo, all.
 //
 // The scaling experiment sweeps the batch scheduler across simulated GPU
 // replica counts (-gpus, a comma-separated list) under a saturating
@@ -33,7 +33,15 @@
 // -migrate-threshold; the bar is >=1.5x virtual throughput at 4
 // replicas with locked and in-flight files never migrated.
 //
-// The scaling, pressure, and migrate experiments also write
+// The slo experiment mixes latency-sensitive interactive clients against
+// saturating batch clients and compares the fifo run-to-completion
+// baseline with the lanes priority policy (-priority-policy selects
+// policies elsewhere; the sweep runs both): per-lane p50/p99 queue delay,
+// preemption counts, and starvation. The bar is interactive p99 at least
+// 3x better than fifo at equal (±10%) aggregate token throughput with
+// zero starved batch calls.
+//
+// The scaling, pressure, migrate, and slo experiments also write
 // machine-readable BENCH_<exp>.json artifacts into -json-dir (default
 // "."; empty disables), seeding the perf trajectory the CI bench gate
 // (cmd/benchgate) judges regressions against; see the README for the
@@ -54,8 +62,16 @@ import (
 	"repro/internal/sched"
 )
 
+// experimentNames lists the -exp values in presentation order; "all"
+// runs every one.
+var experimentNames = []string{
+	"fig3", "toolcalls", "constrained", "speculative", "multiround",
+	"tot", "editor", "batching", "overhead", "scaling", "pressure",
+	"migrate", "slo",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig3|toolcalls|constrained|speculative|multiround|tot|editor|batching|overhead|scaling|pressure|migrate|all)")
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experimentNames, "|")+"|all)")
 	quick := flag.Bool("quick", false, "use reduced grids for a fast pass")
 	gpus := flag.String("gpus", "", "comma-separated GPU replica counts for -exp scaling (default 1,2,4,8)")
 	dispatch := flag.String("dispatch", "",
@@ -69,22 +85,28 @@ func main() {
 	migrateThreshold := flag.Float64("migrate-threshold", 0,
 		"home-overload factor for -exp migrate (0 = core default)")
 	jsonDir := flag.String("json-dir", ".",
-		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate (empty disables)")
+		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo (empty disables)")
 	flag.Parse()
 
+	// Reject bad enumerated flag values up front, each with the list of
+	// valid names, instead of failing deep inside an experiment's setup.
+	if !validExperiment(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\nvalid experiments: %s, all\n",
+			*exp, strings.Join(experimentNames, ", "))
+		os.Exit(2)
+	}
 	if _, err := sched.NewDispatcher(*dispatch); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "%v\nvalid dispatchers: %s\n", err, strings.Join(sched.DispatcherNames(), ", "))
 		os.Exit(2)
 	}
 	for _, p := range splitList(*kvPolicy) {
 		if _, err := kvd.NewPolicy(p); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "%v\nvalid KV policies: %s\n", err, strings.Join(kvd.PolicyNames(), ", "))
 			os.Exit(2)
 		}
 	}
 
 	start := time.Now()
-	ran := false
 	for _, e := range []struct {
 		name string
 		fn   func(bool)
@@ -101,18 +123,26 @@ func main() {
 		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch, *jsonDir) }},
 		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir) }},
 		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir) }},
+		{"slo", func(q bool) { runSLO(q, *jsonDir) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
-			ran = true
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
-	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// validExperiment reports whether name is a known -exp value.
+func validExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, n := range experimentNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func runFig3(quick bool) {
@@ -249,6 +279,17 @@ func runMigrate(quick bool, gbps, threshold float64, jsonDir string) {
 	tab := experiments.MigrateTable(pts)
 	fmt.Println(tab.String())
 	writeBench(jsonDir, "migrate", cfg, pts)
+}
+
+func runSLO(quick bool, jsonDir string) {
+	cfg := experiments.DefaultSLO()
+	if quick {
+		cfg = experiments.QuickSLO()
+	}
+	pts := experiments.RunSLO(cfg)
+	tab := experiments.SLOTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "slo", cfg, pts)
 }
 
 // splitList parses a comma-separated flag value, trimming blanks.

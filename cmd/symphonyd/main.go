@@ -19,6 +19,18 @@
 // streams to the affected job as a kv_migrate event). Per-replica
 // utilization and the migration ledger are reported by /v1/stats.
 //
+// The batch scheduler executes iteration-level (Orca-style continuous
+// batching): each pred call runs up to -step-quantum tokens per GPU
+// iteration, and -priority-policy orders every iteration — "lanes"
+// (default) schedules strict interactive/normal/batch priority lanes
+// with aging and preempts mid-flight batch work at iteration boundaries
+// when interactive calls wait; "fifo" is the run-to-completion baseline.
+// Requests pick their lane with a "priority" field on v1/v2 program (and
+// completion) bodies; -default-priority sets the lane for requests that
+// don't, and -batch-tenants lists tenants whose jobs default to the
+// batch lane. Per-lane queue-delay histograms and preemption counters
+// are reported by /v1/stats under "lanes".
+//
 // GPU KV memory is managed by the kernel memory daemon: -kv-policy
 // selects the eviction policy (lru, lfu, cost-aware, or none to disable)
 // and -kv-high-water the usage fraction that triggers reclaim. Under
@@ -67,19 +79,48 @@ func main() {
 		"KV memory daemon eviction policy ("+strings.Join(kvd.PolicyNames(), "|")+"|none)")
 	kvHighWater := flag.Float64("kv-high-water", 0.90,
 		"GPU KV usage fraction that triggers daemon reclaim")
+	prioPolicy := flag.String("priority-policy", "lanes",
+		"GPU iteration ordering policy ("+strings.Join(sched.PriorityPolicyNames(), "|")+")")
+	stepQuantum := flag.Int("step-quantum", sched.DefaultQuantum,
+		"max tokens one pred call executes per GPU iteration under the lanes policy")
+	defaultPriority := flag.String("default-priority", "normal",
+		"scheduling lane for requests without a priority field (interactive|normal|batch)")
+	batchTenants := flag.String("batch-tenants", "",
+		"comma-separated tenants whose jobs default to the batch lane")
 	maxJobs := flag.Int("max-jobs-per-user", 32, "cap on a tenant's concurrently live jobs")
 	retention := flag.Duration("job-retention", 10*time.Minute,
 		"how long finished jobs stay pollable (virtual time)")
 	flag.Parse()
 
+	// Reject bad enumerated flag values up front, each with the list of
+	// valid names, instead of failing deep inside kernel setup.
 	dispatcher, err := sched.NewDispatcher(*dispatch)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%v\nvalid dispatchers: %s", err, strings.Join(sched.DispatcherNames(), ", "))
+	}
+	priority, err := sched.NewPriorityPolicy(*prioPolicy)
+	if err != nil {
+		log.Fatalf("%v\nvalid priority policies: %s", err, strings.Join(sched.PriorityPolicyNames(), ", "))
+	}
+	if *stepQuantum <= 0 {
+		log.Fatalf("-step-quantum must be positive (got %d)", *stepQuantum)
+	}
+	if lanes, ok := priority.(*sched.Lanes); ok {
+		lanes.SliceTokens = *stepQuantum
+	}
+	if _, err := sched.ParsePriority(*defaultPriority); err != nil {
+		log.Fatalf("-default-priority: %v", err)
+	}
+	tenantPrio := make(map[string]string)
+	for _, tenant := range strings.Split(*batchTenants, ",") {
+		if tenant = strings.TrimSpace(tenant); tenant != "" {
+			tenantPrio[tenant] = "batch"
+		}
 	}
 	kvCfg := kvd.Config{Policy: *kvPolicy, HighWater: *kvHighWater}
 	if kvCfg.Enabled() {
 		if _, err := kvd.NewPolicy(*kvPolicy); err != nil {
-			log.Fatal(err)
+			log.Fatalf("%v\nvalid KV policies: %s, none", err, strings.Join(kvd.PolicyNames(), ", "))
 		}
 	}
 	clk := simclock.NewRealtime(*speedup)
@@ -91,6 +132,7 @@ func main() {
 		},
 		DefaultModel:     "llama-13b",
 		Policy:           sched.DefaultPoisson(),
+		PriorityPolicy:   priority,
 		Replicas:         *gpus,
 		Dispatcher:       dispatcher,
 		Interconnect:     netsim.InterconnectFromGbps(clk, *interconnectGbps),
@@ -107,11 +149,14 @@ func main() {
 	})
 
 	srv := server.NewWith(clk, kernel, server.Options{
-		MaxJobsPerUser: *maxJobs,
-		Retention:      *retention,
+		MaxJobsPerUser:  *maxJobs,
+		Retention:       *retention,
+		DefaultPriority: *defaultPriority,
+		TenantPriority:  tenantPrio,
 	})
-	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s kv policy",
-		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher(), kernel.KVD().PolicyName())
+	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s priority policy, %s kv policy",
+		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher(),
+		kernel.Scheduler().PriorityPolicy(), kernel.KVD().PolicyName())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -98,6 +98,9 @@ func newEngine(clk *simclock.Clock, cfg Config) *engine {
 		sch: sched.New(clk, sched.Config{
 			Models: map[string]model.CostModel{name: cfg.Model.Config().Cost},
 			Policy: cfg.Policy,
+			// The baselines model run-to-completion servers: no
+			// iteration-level slicing, no priority lanes.
+			PriorityPolicy: sched.FIFO{},
 		}),
 	}
 	cap := fs.Stats().GPUPageCap * fs.Config().PageTokens
@@ -112,7 +115,7 @@ func (e *engine) pred(f *kvfs.File, toks []token.ID, positions []int) ([]model.D
 	if err != nil {
 		return nil, err
 	}
-	if err := e.sch.Submit(e.mdl.Name(), len(toks)); err != nil {
+	if err := e.sch.SubmitCall(sched.Call{Model: e.mdl.Name(), Tokens: len(toks)}); err != nil {
 		return nil, err
 	}
 	dists := make([]model.Dist, len(tails))

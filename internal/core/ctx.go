@@ -393,11 +393,45 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 	pstart := k.clk.Now()
 	// The affinity key is the file's root KV hash: forks of one
 	// conversation share it, so cache-aware dispatch keeps them on the
-	// replica already holding their prefix.
+	// replica already holding their prefix. The process's priority lane
+	// rides on every call so urgency expressed at submission reaches the
+	// GPU iteration loop.
 	call := sched.Call{
 		Model:    resolvedName(k, modelName),
 		Tokens:   len(toks),
 		Affinity: uint64(f.Root()),
+		Priority: c.p.prio,
+	}
+	if k.kvd.Enabled() {
+		// Keep scheduler preemption coherent with the memory daemon: a
+		// call descheduled at an iteration boundary must not hold its KV
+		// file pinned, or preempted state would be unevictable under
+		// pressure. On resume the pin returns, and if the daemon offloaded
+		// the file meanwhile the PCIe restore is charged to the resuming
+		// step. Runs on the replica actor; nothing here blocks.
+		cost := m.Config().Cost
+		call.OnPreempt = func(preempted bool) time.Duration {
+			if preempted {
+				k.kvd.Unpin(f)
+				return 0
+			}
+			k.kvd.Pin(f)
+			if f.GPUResident() {
+				return 0
+			}
+			// Like ensureResident, charge whatever actually moved even if
+			// the restore then failed for the rest: those pages are on the
+			// GPU now and no later path would bill them. Tokens still on
+			// the host are the next pred's problem (ensureResident).
+			n, _ := f.Restore()
+			if n == 0 {
+				return 0
+			}
+			d := cost.TransferTime(n)
+			k.restoreTime.Add(int64(d))
+			k.kvd.NoteRestore(f, n, d)
+			return d
+		}
 	}
 	if k.mig != nil {
 		// Migration-aware dispatch: the engine pins the call to the

@@ -81,6 +81,11 @@ type Config struct {
 	KV kvd.Config
 	// Policy is the batch scheduler policy; nil means sched.DefaultPoisson.
 	Policy sched.Policy
+	// PriorityPolicy orders each GPU iteration of the batch scheduler and
+	// sets the per-call step quantum; nil means sched.DefaultLanes
+	// (strict interactive/normal/batch lanes with aging). See
+	// sched.NewPriorityPolicy for selection by name.
+	PriorityPolicy sched.PriorityPolicy
 	// Replicas is the number of simulated GPU executors behind the batch
 	// scheduler; values < 1 mean one.
 	Replicas int
@@ -196,10 +201,11 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		panic(err)
 	}
 	schedCfg := sched.Config{
-		Models:     costs,
-		Policy:     cfg.Policy,
-		Replicas:   cfg.Replicas,
-		Dispatcher: cfg.Dispatcher,
+		Models:         costs,
+		Policy:         cfg.Policy,
+		PriorityPolicy: cfg.PriorityPolicy,
+		Replicas:       cfg.Replicas,
+		Dispatcher:     cfg.Dispatcher,
 	}
 	if daemon.Enabled() {
 		// The admission gate defers new pred submissions while the KV

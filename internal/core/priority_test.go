@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvd"
+	"repro/internal/kvfs"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/token"
+)
+
+// TestPredCarriesProcessPriority checks the end-to-end path: a priority
+// set at process submission reaches the batch scheduler's lane counters
+// on every pred the process issues.
+func TestPredCarriesProcessPriority(t *testing.T) {
+	clk, k := newKernel()
+	drive(t, clk, func() {
+		for _, prio := range []sched.Priority{sched.Interactive, sched.Batch} {
+			p := k.SubmitWith("user", greedyComplete("hello world", 3), SubmitOptions{Priority: prio})
+			if err := p.Wait(); err != nil {
+				t.Errorf("%v process: %v", prio, err)
+			}
+			if p.Priority() != prio {
+				t.Errorf("Priority() = %v, want %v", p.Priority(), prio)
+			}
+		}
+	})
+	st := k.Stats().Sched
+	var inter, norm, batch int64
+	for _, l := range st.Lanes {
+		switch l.Lane {
+		case "interactive":
+			inter = l.Calls
+		case "normal":
+			norm = l.Calls
+		case "batch":
+			batch = l.Calls
+		}
+	}
+	if inter == 0 || batch == 0 {
+		t.Fatalf("lane calls interactive=%d batch=%d, want both > 0 (%+v)", inter, batch, st.Lanes)
+	}
+	if norm != 0 {
+		t.Fatalf("normal lane saw %d calls from prioritized processes", norm)
+	}
+}
+
+// TestPreemptedPredDoesNotPinKV checks scheduler/memory-daemon coherence:
+// while a batch process's long pred sits preempted by interactive load,
+// its KV file must be evictable (not pinned), and the call must still
+// complete with its file usable afterwards.
+func TestPreemptedPredDoesNotPinKV(t *testing.T) {
+	clk := simclock.New()
+	bpt := model.A100Llama13B().KVBytesPerToken
+	k := New(clk, Config{
+		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		FS: kvfs.Config{
+			PageTokens:    16,
+			GPUBytes:      8192 * bpt,
+			HostBytes:     8192 * bpt * 16,
+			BytesPerToken: bpt,
+		},
+		Policy: sched.Immediate{},
+		KV:     kvd.Config{Policy: "lru"},
+		// A tight step budget without aging keeps the batch pred
+		// preempted for as long as interactive calls keep arriving.
+		PriorityPolicy: &sched.Lanes{SliceTokens: 16, MaxStepTokens: 16, AgeAfter: -1},
+	})
+	pinnedWhilePreempted := -1
+	drive(t, clk, func() {
+		var batchFile *kvfs.File
+		batch := k.SubmitWith("batch", func(ctx *Ctx) error {
+			f, err := ctx.KvAnon()
+			if err != nil {
+				return err
+			}
+			batchFile = f
+			defer f.Remove()
+			toks := make([]token.ID, 96)
+			pos := make([]int, len(toks))
+			for i := range toks {
+				toks[i], pos[i] = token.ID(i+10), i
+			}
+			_, err = ctx.Pred(f, toks, pos)
+			return err
+		}, SubmitOptions{Priority: sched.Batch})
+
+		inter := k.SubmitWith("inter", func(ctx *Ctx) error {
+			f, err := ctx.KvAnon()
+			if err != nil {
+				return err
+			}
+			defer f.Remove()
+			// Give the batch pred time to start stepping, then keep the
+			// interactive lane saturated long enough that the batch call
+			// is preempted at an iteration boundary.
+			if err := ctx.Sleep(30 * time.Millisecond); err != nil {
+				return err
+			}
+			for i := 0; i < 12; i++ {
+				if _, err := ctx.Pred(f, []token.ID{token.ID(500 + i)}, []int{f.Len()}); err != nil {
+					return err
+				}
+				if i == 6 && batchFile != nil {
+					pinnedWhilePreempted = k.KVD().Pins(batchFile)
+				}
+			}
+			return nil
+		}, SubmitOptions{Priority: sched.Interactive})
+
+		if err := batch.Wait(); err != nil {
+			t.Errorf("batch process: %v", err)
+		}
+		if err := inter.Wait(); err != nil {
+			t.Errorf("interactive process: %v", err)
+		}
+	})
+	st := k.Stats().Sched
+	if st.Preemptions == 0 {
+		t.Fatal("batch pred was never preempted")
+	}
+	if pinnedWhilePreempted != 0 {
+		t.Fatalf("preempted call's KV file pin count = %d, want 0 (evictable)", pinnedWhilePreempted)
+	}
+	if st.ExecutedTokens != st.Tokens {
+		t.Fatalf("executed %d of %d submitted tokens", st.ExecutedTokens, st.Tokens)
+	}
+}

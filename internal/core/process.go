@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
@@ -30,7 +31,8 @@ type Process struct {
 	pid  int
 	user string
 
-	budget int64 // max pred tokens; 0 = unlimited
+	budget int64          // max pred tokens; 0 = unlimited
+	prio   sched.Priority // scheduling lane for every pred the process issues
 
 	mailbox *simclock.Queue[Message]
 	wg      *simclock.WaitGroup
@@ -53,6 +55,11 @@ type SubmitOptions struct {
 	// Budget caps the total tokens the process may push through Pred;
 	// zero means unlimited.
 	Budget int64
+	// Priority is the scheduling lane every pred call of the process
+	// carries into the batch scheduler (zero value sched.Normal). The
+	// priority policy orders each GPU iteration by it; an interactive
+	// process overtakes batch work at every iteration boundary.
+	Priority sched.Priority
 }
 
 // Submit starts prog as a new process for user and returns immediately.
@@ -69,6 +76,7 @@ func (k *Kernel) SubmitWith(user string, prog Program, opts SubmitOptions) *Proc
 		pid:       k.nextPID,
 		user:      user,
 		budget:    opts.Budget,
+		prio:      opts.Priority,
 		mailbox:   simclock.NewQueue[Message](k.clk),
 		wg:        k.clk.NewWaitGroup(),
 		done:      k.clk.NewEvent(),
@@ -197,6 +205,9 @@ func (p *Process) EndedAt() (time.Duration, bool) {
 
 // PID returns the process ID.
 func (p *Process) PID() int { return p.pid }
+
+// Priority returns the scheduling lane the process's pred calls run in.
+func (p *Process) Priority() sched.Priority { return p.prio }
 
 // User returns the submitting user.
 func (p *Process) User() string { return p.user }

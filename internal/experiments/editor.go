@@ -71,9 +71,13 @@ func runEditorCell(cfg EditorConfig, sys string) EditorPoint {
 
 	if sys == SystemSymphony {
 		k := core.New(clk, core.Config{
-			Models:    map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
-			Policy:    sched.Immediate{},
-			Tokenizer: tok,
+			Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+			Policy: sched.Immediate{},
+			// Executor policy held equal with the run-to-completion
+			// baselines: this experiment isolates incremental KV edits,
+			// not the scheduler (-exp slo studies that).
+			PriorityPolicy: sched.FIFO{},
+			Tokenizer:      tok,
 		})
 		drive(clk, func() {
 			p := k.Submit("editor", func(ctx *core.Ctx) error {

@@ -266,10 +266,14 @@ func (c *fig3Cell) ragProgram(req workload.RAGRequest) core.Program {
 
 func (c *fig3Cell) runSymphony(rate, pareto float64) Fig3Point {
 	k := core.New(c.clk, core.Config{
-		Models:    map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
-		FS:        c.fsConfig(model.A100Llama13B().KVBytesPerToken),
-		Policy:    sched.DefaultPoisson(),
-		Tokenizer: c.tok,
+		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		FS:     c.fsConfig(model.A100Llama13B().KVBytesPerToken),
+		Policy: sched.DefaultPoisson(),
+		// Executor policy held equal with the run-to-completion
+		// baselines: Figure 3 isolates program-level caching and
+		// batching, not the scheduler (-exp slo studies that).
+		PriorityPolicy: sched.FIFO{},
+		Tokenizer:      c.tok,
 	})
 	runSymphonyTrace(c, k)
 	st := k.Stats()

@@ -88,10 +88,14 @@ func runMultiRoundCell(cfg MultiRoundConfig, sys string) MultiRoundPoint {
 	if sys == SystemSymphony {
 		fsCfg := model.A100Llama13B()
 		k := core.New(clk, core.Config{
-			Models:    map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
-			FS:        fig3FS(cfg.GPUBytes, fsCfg.KVBytesPerToken),
-			Policy:    sched.Immediate{},
-			Tokenizer: tok,
+			Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+			FS:     fig3FS(cfg.GPUBytes, fsCfg.KVBytesPerToken),
+			Policy: sched.Immediate{},
+			// Executor policy held equal with the run-to-completion
+			// baselines: this experiment isolates cache retention, not
+			// the scheduler (-exp slo studies that).
+			PriorityPolicy: sched.FIFO{},
+			Tokenizer:      tok,
 		})
 		drive(clk, func() {
 			p := k.Submit("chat", func(ctx *core.Ctx) error {

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvfs"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/token"
+)
+
+// SLOConfig parameterizes the priority-scheduling sweep: a mixed
+// population of latency-sensitive interactive clients (short prefill +
+// short decode, think time between requests) and saturating batch clients
+// (a long prefill followed by a long decode, back to back), run once per
+// priority policy over identical work.
+//
+// Under the fifo run-to-completion baseline, every batch prefill is one
+// monolithic GPU step — hundreds of milliseconds during which an
+// interactive call queued behind it can only wait. Under the lanes policy
+// the same prefill is sliced to the step quantum, interactive calls join
+// the very next iteration, and the step-token budget preempts mid-flight
+// batch slices whenever the interactive lane is occupied, while aging
+// guarantees the batch lane still drains. The figures of merit are the
+// per-lane queue-delay distributions at matched aggregate throughput.
+type SLOConfig struct {
+	// Policies lists the priority policies to sweep (see
+	// sched.PriorityPolicyNames); the first fifo row is the baseline
+	// other rows are compared against.
+	Policies []string
+	// GPUs is the replica count of each cell's kernel.
+	GPUs int
+	// Interactive population: Clients issue Requests requests each of
+	// Prefill prompt tokens and Decode generated tokens, thinking Think
+	// between requests.
+	InteractiveClients  int
+	InteractiveRequests int
+	InteractivePrefill  int
+	InteractiveDecode   int
+	Think               time.Duration
+	// Batch population: Clients issue Requests requests each of Prefill
+	// prompt tokens (the head-of-line hazard) and Decode generated
+	// tokens, no think time.
+	BatchClients  int
+	BatchRequests int
+	BatchPrefill  int
+	BatchDecode   int
+	// Quantum is the lanes policy's per-call step quantum; StepTokens its
+	// per-iteration token budget (what makes preemption real); AgeAfter
+	// its lane-promotion interval.
+	Quantum    int
+	StepTokens int
+	AgeAfter   time.Duration
+	// StarveAfter is the queue delay above which a batch call counts as
+	// starved; the acceptance bar is zero starved calls.
+	StarveAfter time.Duration
+}
+
+// DefaultSLO returns the sweep used by symphony-bench -exp slo.
+func DefaultSLO() SLOConfig {
+	return SLOConfig{
+		Policies:            []string{"fifo", "lanes"},
+		GPUs:                1,
+		InteractiveClients:  8,
+		InteractiveRequests: 10,
+		InteractivePrefill:  24,
+		InteractiveDecode:   8,
+		Think:               40 * time.Millisecond,
+		BatchClients:        6,
+		BatchRequests:       3,
+		BatchPrefill:        1024,
+		BatchDecode:         96,
+		Quantum:             96,
+		StepTokens:          512,
+		AgeAfter:            250 * time.Millisecond,
+		StarveAfter:         3 * time.Second,
+	}
+}
+
+// QuickSLO returns a reduced sweep for -quick and the test suite.
+func QuickSLO() SLOConfig {
+	cfg := DefaultSLO()
+	cfg.InteractiveRequests = 6
+	cfg.BatchRequests = 2
+	cfg.BatchDecode = 64
+	return cfg
+}
+
+// SLOPoint is one priority policy's measurement over the mixed workload.
+type SLOPoint struct {
+	Policy string
+	GPUs   int
+	// Completed counts client processes that finished every request;
+	// Errors everything else.
+	Completed int
+	Errors    int
+	Makespan  time.Duration
+	// Throughput is virtual pred tokens per second over the makespan —
+	// the equal-work axis policies are compared at.
+	Throughput float64
+	PredTokens int64
+	// Per-lane queue delay: the call's total time in the scheduler minus
+	// its solo step time — the wait other lanes' work (and preemption)
+	// inserted, not time-to-first-token.
+	InteractiveP50 time.Duration
+	InteractiveP99 time.Duration
+	BatchP50       time.Duration
+	BatchP99       time.Duration
+	BatchMax       time.Duration
+	// InteractiveP99Speedup is the fifo baseline's interactive p99 over
+	// this row's (1 for the baseline itself; higher is better).
+	InteractiveP99Speedup float64
+	// Preemptions counts iteration-boundary preemptions; Starved counts
+	// batch calls whose queue delay exceeded StarveAfter (aging must keep
+	// this at zero).
+	Preemptions int64
+	Starved     int64
+	AvgBatch    float64
+}
+
+// RunSLO sweeps the priority policies over the mixed workload.
+func RunSLO(cfg SLOConfig) []SLOPoint {
+	var out []SLOPoint
+	for _, policy := range cfg.Policies {
+		out = append(out, runSLOCell(cfg, policy))
+	}
+	// Interactive p99 speedup is relative to the first fifo row, if any.
+	var base time.Duration
+	for _, p := range out {
+		if p.Policy == "fifo" {
+			base = p.InteractiveP99
+			break
+		}
+	}
+	for i := range out {
+		out[i].InteractiveP99Speedup = 1
+		if base > 0 && out[i].InteractiveP99 > 0 {
+			out[i].InteractiveP99Speedup = float64(base) / float64(out[i].InteractiveP99)
+		}
+	}
+	return out
+}
+
+// sloPred appends n synthetic tokens to f through the pred syscall.
+func sloPred(ctx *core.Ctx, f *kvfs.File, n, seed int) error {
+	toks := make([]token.ID, n)
+	pos := make([]int, n)
+	base := f.Len()
+	for i := range toks {
+		toks[i] = token.ID(seed + i)
+		pos[i] = base + i
+	}
+	_, err := ctx.Pred(f, toks, pos)
+	return err
+}
+
+// sloRequest runs one request: a prefill pred followed by decode
+// single-token preds, on a fresh file.
+func sloRequest(ctx *core.Ctx, prefill, decode, seed int) error {
+	f, err := ctx.KvAnon()
+	if err != nil {
+		return err
+	}
+	defer f.Remove()
+	if err := sloPred(ctx, f, prefill, seed); err != nil {
+		return err
+	}
+	for d := 0; d < decode; d++ {
+		if err := sloPred(ctx, f, 1, seed+prefill+d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSLOCell measures one priority policy over the mixed workload.
+func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
+	prioPolicy, err := sched.NewPriorityPolicy(policy)
+	if err != nil {
+		panic(err)
+	}
+	if lanes, ok := prioPolicy.(*sched.Lanes); ok {
+		lanes.SliceTokens = cfg.Quantum
+		lanes.MaxStepTokens = cfg.StepTokens
+		lanes.AgeAfter = cfg.AgeAfter
+	}
+	clk := simclock.New()
+	k := core.New(clk, core.Config{
+		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		// KV capacity is not the variable under study: size the pool so
+		// the whole population fits.
+		FS:             fig3FS(64<<30, model.A100Llama13B().KVBytesPerToken),
+		Policy:         sched.DefaultPoisson(),
+		PriorityPolicy: prioPolicy,
+		Replicas:       cfg.GPUs,
+		Dispatcher:     sched.LeastLoaded{},
+	})
+
+	var (
+		mu        sync.Mutex
+		completed int
+		errors    int
+		lastDone  time.Duration
+	)
+	join := func(wg *simclock.WaitGroup, p *core.Process) {
+		clk.Go("join", func() {
+			defer wg.Done()
+			err := p.Wait()
+			now := clk.Now()
+			mu.Lock()
+			defer mu.Unlock()
+			if now > lastDone {
+				lastDone = now
+			}
+			if err == nil {
+				completed++
+			} else {
+				errors++
+			}
+		})
+	}
+	drive(clk, func() {
+		wg := clk.NewWaitGroup()
+		for c := 0; c < cfg.InteractiveClients; c++ {
+			c := c
+			wg.Add(1)
+			p := k.SubmitWith("interactive", func(ctx *core.Ctx) error {
+				// Stagger arrivals so requests do not phase-lock.
+				if err := ctx.Sleep(time.Duration(c) * cfg.Think / time.Duration(cfg.InteractiveClients)); err != nil {
+					return err
+				}
+				for r := 0; r < cfg.InteractiveRequests; r++ {
+					if err := sloRequest(ctx, cfg.InteractivePrefill, cfg.InteractiveDecode, c*100000+r*1000); err != nil {
+						return err
+					}
+					if err := ctx.Sleep(cfg.Think); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, core.SubmitOptions{Priority: sched.Interactive})
+			join(wg, p)
+		}
+		for c := 0; c < cfg.BatchClients; c++ {
+			c := c
+			wg.Add(1)
+			p := k.SubmitWith("batch", func(ctx *core.Ctx) error {
+				// De-phase the monster prefills a little, as real batch
+				// arrivals would be.
+				if err := ctx.Sleep(time.Duration(c) * 5 * time.Millisecond); err != nil {
+					return err
+				}
+				for r := 0; r < cfg.BatchRequests; r++ {
+					if err := sloRequest(ctx, cfg.BatchPrefill, cfg.BatchDecode, 5000000+c*200000+r*2000); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, core.SubmitOptions{Priority: sched.Batch})
+			join(wg, p)
+		}
+		wg.Wait()
+	})
+
+	st := k.Stats()
+	pt := SLOPoint{
+		Policy:      policy,
+		GPUs:        cfg.GPUs,
+		Completed:   completed,
+		Errors:      errors,
+		Makespan:    lastDone,
+		PredTokens:  st.PredTokens,
+		Preemptions: st.Sched.Preemptions,
+		AvgBatch:    st.Sched.AvgBatch,
+	}
+	for _, l := range st.Sched.Lanes {
+		switch l.Lane {
+		case "interactive":
+			pt.InteractiveP50 = l.DelayP50
+			pt.InteractiveP99 = l.DelayP99
+		case "batch":
+			pt.BatchP50 = l.DelayP50
+			pt.BatchP99 = l.DelayP99
+			pt.BatchMax = l.DelayMax
+		}
+	}
+	pt.Starved = k.Scheduler().LaneDelay(sched.Batch).CountAbove(cfg.StarveAfter)
+	if lastDone > 0 {
+		pt.Throughput = float64(st.PredTokens) / lastDone.Seconds()
+	}
+	return pt
+}
+
+// SLOTable renders the sweep.
+func SLOTable(points []SLOPoint) metrics.Table {
+	t := metrics.Table{
+		Title: "SLO (§4.4): per-lane queue delay under iteration-level priority scheduling",
+		Headers: []string{"policy", "done", "tok/s", "inter-p50", "inter-p99", "p99-speedup",
+			"batch-p50", "batch-p99", "batch-max", "preempt", "starved", "avg-batch"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Policy, fmt.Sprintf("%d/%d", p.Completed, p.Completed+p.Errors),
+			fmt.Sprintf("%.0f", p.Throughput),
+			p.InteractiveP50.Round(time.Microsecond), p.InteractiveP99.Round(time.Microsecond),
+			fmt.Sprintf("%.1fx", p.InteractiveP99Speedup),
+			p.BatchP50.Round(time.Microsecond), p.BatchP99.Round(time.Microsecond),
+			p.BatchMax.Round(time.Millisecond),
+			p.Preemptions, p.Starved, fmt.Sprintf("%.1f", p.AvgBatch))
+	}
+	return t
+}

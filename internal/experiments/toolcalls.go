@@ -87,9 +87,13 @@ func runToolCallsCell(cfg ToolCallsConfig, sys string, calls int) ToolCallsPoint
 
 	if sys == SystemSymphony {
 		k := core.New(clk, core.Config{
-			Models:    map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
-			Policy:    sched.Immediate{},
-			Tokenizer: tok,
+			Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+			Policy: sched.Immediate{},
+			// Executor policy held equal with the run-to-completion
+			// baselines: this experiment isolates tool-wait offload, not
+			// the scheduler (-exp slo studies that).
+			PriorityPolicy: sched.FIFO{},
+			Tokenizer:      tok,
 		})
 		k.RegisterTool("api", core.Tool{
 			Latency: cfg.ToolLatency,

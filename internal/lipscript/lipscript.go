@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kvfs"
 	"repro/internal/lip"
+	"repro/internal/sched"
 	"repro/internal/token"
 )
 
@@ -78,8 +79,12 @@ type Stmt struct {
 // Script is a complete program.
 type Script struct {
 	// Budget caps pred tokens for the process; 0 = unlimited.
-	Budget int64  `json:"budget,omitempty"`
-	Steps  []Stmt `json:"steps"`
+	Budget int64 `json:"budget,omitempty"`
+	// Priority names the scheduling lane for every pred the program
+	// issues: "interactive", "normal", or "batch". Empty defers to the
+	// server's per-tenant default (normal when unconfigured).
+	Priority string `json:"priority,omitempty"`
+	Steps    []Stmt `json:"steps"`
 }
 
 // Parse decodes and validates a JSON script.
@@ -100,6 +105,9 @@ func Parse(data []byte) (*Script, error) {
 func (s *Script) Validate() error {
 	if len(s.Steps) == 0 {
 		return fmt.Errorf("lipscript: empty script")
+	}
+	if _, err := sched.ParsePriority(s.Priority); err != nil {
+		return fmt.Errorf("lipscript: %w", err)
 	}
 	sessions := map[string]bool{}
 	for i, st := range s.Steps {
@@ -317,7 +325,8 @@ func Submit(k *core.Kernel, user string, data []byte) (*core.Process, error) {
 	if err != nil {
 		return nil, err
 	}
-	return k.SubmitWith(user, s.Program(), core.SubmitOptions{Budget: s.Budget}), nil
+	prio, _ := sched.ParsePriority(s.Priority) // validated by Parse
+	return k.SubmitWith(user, s.Program(), core.SubmitOptions{Budget: s.Budget, Priority: prio}), nil
 }
 
 // interpolate replaces ${name} references with variable values; unknown

@@ -86,6 +86,20 @@ func (h *Histogram) Min() time.Duration { h.mu.Lock(); defer h.mu.Unlock(); retu
 // Max reports the largest observation.
 func (h *Histogram) Max() time.Duration { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
 
+// CountAbove reports how many observations exceeded d, accurate to one
+// bucket (≈5%): an observation counts when its whole bucket lies above d.
+func (h *Histogram) CountAbove(d time.Duration) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n int64
+	for b, c := range h.buckets {
+		if bucketLow(b) > d {
+			n += c
+		}
+	}
+	return n
+}
+
 // Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1), accurate to
 // one bucket (≈5%). It returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) time.Duration {

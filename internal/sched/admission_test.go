@@ -33,7 +33,7 @@ func TestAdmitGateDefersUnderPressure(t *testing.T) {
 				t.Errorf("Admit: %v", err)
 			}
 			end = clk.Now()
-			if err := s.Submit(target, 4); err != nil {
+			if err := submit(s, target, 4); err != nil {
 				t.Errorf("Submit: %v", err)
 			}
 		})
@@ -96,7 +96,7 @@ func TestAdmitGateFreeWithoutPressureSource(t *testing.T) {
 		if clk.Now() != before {
 			t.Errorf("gate burned virtual time without a pressure source")
 		}
-		if err := s.Submit(target, 4); err != nil {
+		if err := submit(s, target, 4); err != nil {
 			t.Errorf("Submit: %v", err)
 		}
 	})

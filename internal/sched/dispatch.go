@@ -16,12 +16,24 @@ type Call struct {
 	Model    string
 	Tokens   int
 	Affinity uint64 // 0 = no affinity
+	// Priority is the call's scheduling lane (zero value Normal). The
+	// priority policy orders every GPU iteration by it; see priority.go.
+	Priority Priority
 	// Routed, when true, pins the call to replica Target, bypassing the
 	// dispatcher. The kernel's KV migration engine sets it after deciding
 	// placement from its global prefix index and the live load views;
 	// ordinary callers leave it false.
 	Routed bool
 	Target int
+	// OnPreempt, when non-nil, is invoked from the replica executor at
+	// iteration boundaries: with true when the scheduler deschedules the
+	// call mid-flight (higher-lane work filled the step), with false when
+	// the call is next scheduled again. The duration returned by the
+	// resume invocation is charged to the resuming step — the kernel uses
+	// the pair to unpin the call's KV file while preempted and to bill
+	// the restore if the memory daemon offloaded it meanwhile. Callbacks
+	// run on the replica actor and must not block on clock primitives.
+	OnPreempt func(preempted bool) time.Duration
 }
 
 // ReplicaView is a dispatcher's snapshot of one replica's load at

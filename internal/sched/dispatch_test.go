@@ -26,7 +26,7 @@ func TestRoundRobinFairness(t *testing.T) {
 	const n = 16
 	run(t, clk, func() {
 		for i := 0; i < n; i++ {
-			if err := s.Submit(target, 1); err != nil {
+			if err := submit(s, target, 1); err != nil {
 				t.Errorf("Submit: %v", err)
 			}
 		}
@@ -55,7 +55,7 @@ func TestLeastLoadedAvoidsBusyReplica(t *testing.T) {
 		wg.Add(1)
 		clk.Go("prefill", func() {
 			defer wg.Done()
-			s.Submit(target, 3000)
+			submit(s, target, 3000)
 		})
 		clk.Sleep(5 * time.Millisecond)
 		// Small decode calls arriving while replica 0 grinds must all be
@@ -64,7 +64,7 @@ func TestLeastLoadedAvoidsBusyReplica(t *testing.T) {
 			wg.Add(1)
 			clk.Go("decode", func() {
 				defer wg.Done()
-				s.Submit(target, 1)
+				submit(s, target, 1)
 			})
 		}
 		wg.Wait()
@@ -148,7 +148,7 @@ func TestCacheAffinityFallback(t *testing.T) {
 		wg.Add(1)
 		clk.Go("keyless", func() {
 			defer wg.Done()
-			s.Submit(target, 1)
+			submit(s, target, 1)
 		})
 		wg.Wait()
 	})
@@ -164,7 +164,7 @@ func TestReplicaStatsAggregation(t *testing.T) {
 	const n = 9
 	run(t, clk, func() {
 		for i := 0; i < n; i++ {
-			if err := s.Submit(target, 10); err != nil {
+			if err := submit(s, target, 10); err != nil {
 				t.Errorf("Submit: %v", err)
 			}
 		}
@@ -338,7 +338,7 @@ func TestDispatcherClamping(t *testing.T) {
 	clk := simclock.New()
 	s := newMulti(clk, 2, misroute{}, Immediate{})
 	run(t, clk, func() {
-		if err := s.Submit(target, 1); err != nil {
+		if err := submit(s, target, 1); err != nil {
 			t.Errorf("Submit: %v", err)
 		}
 	})

@@ -12,12 +12,22 @@
 // calls wait for the batch to be cut, batching too eagerly adds latency.
 // When the GPU is idle, the scheduler may hold the first arrival for a
 // policy-chosen window; while the GPU is busy executing a step, arrivals
-// accumulate naturally (continuous, iteration-level batching). The
-// Poisson-adaptive policy sizes the idle window from the observed syscall
-// arrival rate, as the paper sketches.
+// accumulate naturally. The Poisson-adaptive policy sizes the idle window
+// from the observed syscall arrival rate, as the paper sketches.
+//
+// Execution is iteration-level (Orca-style continuous batching): each
+// submitted call is a resumable unit that executes up to a step quantum
+// of tokens per GPU iteration, new arrivals join the running batch at the
+// next iteration boundary, and a pluggable PriorityPolicy (see
+// priority.go) orders every iteration — strict interactive/normal/batch
+// lanes with aging by default, or the FIFO run-to-completion baseline. A
+// low-priority call that is mid-flight can be preempted at an iteration
+// boundary when higher-lane work fills the step budget; its Call.OnPreempt
+// hook lets the kernel release the call's KV pin so preempted state is
+// evictable under memory pressure.
 //
 // The scheduler drives Config.Replicas independent GPU executors
-// ("replicas"), each with its own queue, batching loop, busy clock, and
+// ("replicas"), each with its own queue, iteration loop, busy clock, and
 // queue-delay histogram. A pluggable Dispatcher (see dispatch.go) routes
 // each submitted call to a replica: round-robin, least-loaded, or
 // cache-affinity. With one replica (the default) behaviour is identical
@@ -26,6 +36,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,12 +45,27 @@ import (
 	"repro/internal/simclock"
 )
 
-// call is one pred call queued for execution.
+// call is one pred call queued or in flight on a replica. It is a
+// resumable unit: remaining tracks the tokens the GPU has not yet
+// executed, and the executor slices it across iterations.
 type call struct {
-	model    string
-	tokens   int
-	queuedAt time.Duration
-	done     *simclock.Event
+	model     string
+	tokens    int
+	remaining int
+	prio      Priority
+	queuedAt  time.Duration
+	onPreempt func(bool) time.Duration
+	done      *simclock.Event
+
+	// started: the call has executed at least one slice (its queue delay
+	// is recorded when it first steps). scheduled: it was packed into the
+	// most recent iteration; a started, unfinished call that loses its
+	// slot is preempted. lastRun is when the call last executed a slice
+	// (its submission time before that): aging promotes calls by time
+	// without progress.
+	started   bool
+	scheduled bool
+	lastRun   time.Duration
 }
 
 // Estimate summarizes scheduler state for a batching policy.
@@ -118,11 +144,15 @@ func (p Poisson) Window(e Estimate) time.Duration {
 
 // Config configures a Scheduler.
 type Config struct {
-	// Models maps model name to its cost model. Every Submit must name a
-	// registered model.
+	// Models maps model name to its cost model. Every SubmitCall must
+	// name a registered model.
 	Models map[string]model.CostModel
 	// Policy is the idle batching policy; nil means DefaultPoisson.
 	Policy Policy
+	// PriorityPolicy orders each GPU iteration and sets the step quantum;
+	// nil means DefaultLanes (strict lanes with aging). See
+	// NewPriorityPolicy for selection by name.
+	PriorityPolicy PriorityPolicy
 	// Replicas is the number of independent GPU executors; values < 1
 	// mean one (the paper's single-GPU setting).
 	Replicas int
@@ -145,50 +175,83 @@ type Config struct {
 
 // ReplicaStats is a snapshot of one replica's counters.
 type ReplicaStats struct {
-	ID          int
-	Calls       int64
-	Tokens      int64
+	ID     int
+	Calls  int64
+	Tokens int64
+	// ExecTokens is the sum of step slices the GPU actually executed;
+	// when every submitted call has completed it equals Tokens — the
+	// invariant preemption and resumption must preserve.
+	ExecTokens  int64
 	Batches     int64
 	Steps       int64
 	AvgBatch    float64
 	AvgTokens   float64
+	Preemptions int64
 	GPUBusy     time.Duration
 	Utilization float64 // GPUBusy / elapsed virtual time
 	DelayMean   time.Duration
 	DelayP99    time.Duration
 }
 
+// LaneStats is one priority lane's aggregate view across replicas. Delay
+// is queue delay in the queueing-theory sense: the call's total time in
+// the scheduler minus what the GPU would have charged it running alone.
+// For the short calls interactive SLOs protect it is the wait a client
+// observes; for a long sliced call it is the time other lanes' work (and
+// preemption) inserted into its execution.
+type LaneStats struct {
+	Lane        string
+	Calls       int64
+	Preemptions int64
+	DelayMean   time.Duration
+	DelayP50    time.Duration
+	DelayP99    time.Duration
+	DelayMax    time.Duration
+}
+
 // Stats is a snapshot of scheduler counters. The top-level fields
 // aggregate across replicas (GPUBusy is summed; Utilization is the mean
-// per-replica utilization, i.e. GPUBusy / (elapsed · replicas)).
+// per-replica utilization, i.e. GPUBusy / (elapsed · replicas)). Batches
+// and Steps both count GPU iterations — under iteration-level execution
+// the cut-batch/forward-pass distinction has collapsed into one loop.
 type Stats struct {
-	Calls       int64
-	Tokens      int64
-	Batches     int64
-	Steps       int64
-	AvgBatch    float64
-	AvgTokens   float64
-	GPUBusy     time.Duration
-	Utilization float64
-	Dispatcher  string
+	Calls  int64
+	Tokens int64
+	// ExecutedTokens sums the slices executed across replicas; it equals
+	// Tokens once all submitted calls have completed.
+	ExecutedTokens int64
+	Batches        int64
+	Steps          int64
+	AvgBatch       float64
+	AvgTokens      float64
+	GPUBusy        time.Duration
+	Utilization    float64
+	Dispatcher     string
+	PriorityPolicy string
+	// Preemptions counts iteration-boundary preemptions: a mid-flight
+	// call descheduled because higher-lane work filled the step budget.
+	Preemptions int64
 	// AdmitDeferred counts calls the pressure-aware admission gate held
 	// back at least once; AdmitWait is the total virtual time spent
 	// parked at admission.
 	AdmitDeferred int64
 	AdmitWait     time.Duration
+	Lanes         []LaneStats
 	Replicas      []ReplicaStats
 }
 
 // Scheduler is the batch inference scheduler plus the simulated GPU
-// executors: one actor per replica that cuts batches and charges virtual
-// time per step, fed by a dispatcher.
+// executors: one actor per replica that runs the iteration loop and
+// charges virtual time per step, fed by a dispatcher.
 type Scheduler struct {
 	clk        *simclock.Clock
 	models     map[string]model.CostModel
 	policy     Policy
+	prio       PriorityPolicy
 	dispatcher Dispatcher
 	replicas   []*replica
 	delayHist  *metrics.Histogram // aggregate queue delay across replicas
+	laneDelay  [NumLanes]*metrics.Histogram
 
 	pressure     func() float64
 	admitHW      float64
@@ -197,27 +260,35 @@ type Scheduler struct {
 	mu            sync.Mutex
 	calls         int64
 	tokens        int64
+	laneCalls     [NumLanes]int64
+	lanePreempts  [NumLanes]int64
 	admitDeferred int64
 	admitWait     time.Duration
 }
 
-// replica is one simulated GPU executor with its own batching loop.
+// replica is one simulated GPU executor with its own iteration loop.
 type replica struct {
 	id    int
 	s     *Scheduler
 	queue *simclock.Queue[*call]
 
+	// active is the set of admitted, unfinished calls the iteration loop
+	// schedules from. It is touched only by the replica actor.
+	active []*call
+
 	mu           sync.Mutex
 	queuedTokens int           // tokens of calls waiting in queue
-	inflight     int           // tokens of the batch currently executing
+	inflight     int           // remaining tokens of admitted calls
 	busyUntil    time.Duration // end of the current GPU step, 0 when idle
 	lastArr      time.Duration
 	haveArr      bool
 	ewmaGap      float64 // seconds, over arrivals dispatched here
 	calls        int64
 	tokens       int64
+	execTokens   int64
 	batches      int64
 	steps        int64
+	preemptions  int64
 	batchW       metrics.Welford
 	tokensW      metrics.Welford
 	busy         time.Duration
@@ -228,6 +299,9 @@ type replica struct {
 func New(clk *simclock.Clock, cfg Config) *Scheduler {
 	if cfg.Policy == nil {
 		cfg.Policy = DefaultPoisson()
+	}
+	if cfg.PriorityPolicy == nil {
+		cfg.PriorityPolicy = DefaultLanes()
 	}
 	if cfg.Replicas < 1 {
 		cfg.Replicas = 1
@@ -245,11 +319,15 @@ func New(clk *simclock.Clock, cfg Config) *Scheduler {
 		clk:          clk,
 		models:       cfg.Models,
 		policy:       cfg.Policy,
+		prio:         cfg.PriorityPolicy,
 		dispatcher:   cfg.Dispatcher,
 		delayHist:    metrics.NewHistogram(),
 		pressure:     cfg.Pressure,
 		admitHW:      cfg.AdmitHighWater,
 		admitMaxWait: cfg.AdmitMaxWait,
+	}
+	for i := range s.laneDelay {
+		s.laneDelay[i] = metrics.NewHistogram()
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		r := &replica{
@@ -270,26 +348,53 @@ func (s *Scheduler) Replicas() int { return len(s.replicas) }
 // Dispatcher reports the active dispatch policy's name.
 func (s *Scheduler) Dispatcher() string { return s.dispatcher.Name() }
 
+// PriorityPolicy reports the active priority policy's name.
+func (s *Scheduler) PriorityPolicy() string { return s.prio.Name() }
+
 // QueueDelay exposes the aggregate histogram of time calls spent queued
-// before their batch was cut, across all replicas.
+// before their first token executed, across all replicas and lanes.
 func (s *Scheduler) QueueDelay() *metrics.Histogram { return s.delayHist }
+
+// LaneDelay exposes the aggregate queue-delay histogram of one priority
+// lane across all replicas.
+func (s *Scheduler) LaneDelay(p Priority) *metrics.Histogram {
+	return s.laneDelay[p.laneIndex()]
+}
 
 // ReplicaQueueDelay exposes replica i's queue-delay histogram.
 func (s *Scheduler) ReplicaQueueDelay(i int) *metrics.Histogram {
 	return s.replicas[i].delayHist
 }
 
-// Stats returns a snapshot of counters, aggregate and per replica.
+// Stats returns a snapshot of counters, aggregate, per lane, and per
+// replica.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Calls:         s.calls,
-		Tokens:        s.tokens,
-		Dispatcher:    s.dispatcher.Name(),
-		AdmitDeferred: s.admitDeferred,
-		AdmitWait:     s.admitWait,
+		Calls:          s.calls,
+		Tokens:         s.tokens,
+		Dispatcher:     s.dispatcher.Name(),
+		PriorityPolicy: s.prio.Name(),
+		AdmitDeferred:  s.admitDeferred,
+		AdmitWait:      s.admitWait,
 	}
+	laneCalls := s.laneCalls
+	lanePre := s.lanePreempts
 	s.mu.Unlock()
+
+	for _, p := range Priorities {
+		h := s.laneDelay[p.laneIndex()]
+		st.Lanes = append(st.Lanes, LaneStats{
+			Lane:        p.String(),
+			Calls:       laneCalls[p.laneIndex()],
+			Preemptions: lanePre[p.laneIndex()],
+			DelayMean:   h.Mean(),
+			DelayP50:    h.Quantile(0.50),
+			DelayP99:    h.Quantile(0.99),
+			DelayMax:    h.Max(),
+		})
+		st.Preemptions += lanePre[p.laneIndex()]
+	}
 
 	var batchSum, batchN, tokSum float64
 	for _, r := range s.replicas {
@@ -298,14 +403,16 @@ func (s *Scheduler) Stats() Stats {
 		// run ahead of now and utilization stays <= 1.
 		rNow := s.clk.Now()
 		rs := ReplicaStats{
-			ID:        r.id,
-			Calls:     r.calls,
-			Tokens:    r.tokens,
-			Batches:   r.batches,
-			Steps:     r.steps,
-			AvgBatch:  r.batchW.Mean(),
-			AvgTokens: r.tokensW.Mean(),
-			GPUBusy:   r.busy,
+			ID:          r.id,
+			Calls:       r.calls,
+			Tokens:      r.tokens,
+			ExecTokens:  r.execTokens,
+			Batches:     r.batches,
+			Steps:       r.steps,
+			AvgBatch:    r.batchW.Mean(),
+			AvgTokens:   r.tokensW.Mean(),
+			Preemptions: r.preemptions,
+			GPUBusy:     r.busy,
 		}
 		batchSum += r.batchW.Sum()
 		batchN += float64(r.batchW.N())
@@ -316,6 +423,7 @@ func (s *Scheduler) Stats() Stats {
 		}
 		rs.DelayMean = r.delayHist.Mean()
 		rs.DelayP99 = r.delayHist.Quantile(0.99)
+		st.ExecutedTokens += rs.ExecTokens
 		st.Batches += rs.Batches
 		st.Steps += rs.Steps
 		st.GPUBusy += rs.GPUBusy
@@ -333,18 +441,12 @@ func (s *Scheduler) Stats() Stats {
 	return st
 }
 
-// Submit enqueues one pred call of newTokens tokens against the named
-// model and parks the calling actor until the GPU step containing it
-// completes. This is the transition the paper describes as moving the
-// thread into the "inference pool".
-func (s *Scheduler) Submit(modelName string, newTokens int) error {
-	return s.SubmitCall(Call{Model: modelName, Tokens: newTokens})
-}
-
-// SubmitCall is Submit with full dispatch metadata: callers that know
-// their request's KV lineage pass an affinity key so cache-aware
-// dispatchers can route forks of one conversation to the replica holding
-// their shared prefix.
+// SubmitCall enqueues one pred call and parks the calling actor until
+// every token of the call has been executed by GPU iterations. This is
+// the transition the paper describes as moving the thread into the
+// "inference pool", and the single entry point into the executor: all
+// dispatch metadata — model, token count, priority lane, affinity key,
+// routing pin, preemption hook — travels on the Call.
 func (s *Scheduler) SubmitCall(meta Call) error {
 	if _, ok := s.models[meta.Model]; !ok {
 		return fmt.Errorf("sched: unknown model %q", meta.Model)
@@ -352,10 +454,12 @@ func (s *Scheduler) SubmitCall(meta Call) error {
 	if meta.Tokens <= 0 {
 		return fmt.Errorf("sched: nonpositive token count %d", meta.Tokens)
 	}
+	prio := meta.Priority.clamp()
 	now := s.clk.Now()
 	s.mu.Lock()
 	s.calls++
 	s.tokens += int64(meta.Tokens)
+	s.laneCalls[prio.laneIndex()]++
 	s.mu.Unlock()
 
 	r := s.route(meta, now)
@@ -372,7 +476,16 @@ func (s *Scheduler) SubmitCall(meta Call) error {
 	r.queuedTokens += meta.Tokens
 	r.mu.Unlock()
 
-	c := &call{model: meta.Model, tokens: meta.Tokens, queuedAt: now, done: s.clk.NewEvent()}
+	c := &call{
+		model:     meta.Model,
+		tokens:    meta.Tokens,
+		remaining: meta.Tokens,
+		prio:      prio,
+		queuedAt:  now,
+		lastRun:   now,
+		onPreempt: meta.OnPreempt,
+		done:      s.clk.NewEvent(),
+	}
 	r.queue.Put(c)
 	return c.done.Wait()
 }
@@ -466,95 +579,201 @@ func (r *replica) estimate(queued int) Estimate {
 	return e
 }
 
-// loop is the replica actor: cut a batch, execute it, repeat.
+// admit moves a queued call into the active set.
+func (r *replica) admit(c *call) {
+	r.active = append(r.active, c)
+	r.mu.Lock()
+	r.queuedTokens -= c.tokens
+	r.inflight += c.remaining
+	r.mu.Unlock()
+}
+
+// loop is the replica actor: admit arrivals, run one iteration, repeat.
+// While calls are in flight the loop never blocks — new arrivals join the
+// active set at every iteration boundary (continuous batching). When the
+// active set drains, the actor parks on its queue and, on the next
+// arrival, may hold the idle batching window for company.
 func (r *replica) loop() {
 	for {
-		first, err := r.queue.Get()
-		if err != nil {
-			return
-		}
-		if w := r.s.policy.Window(r.estimate(1 + r.queue.Len())); w > 0 {
-			if err := r.s.clk.Sleep(w); err != nil {
+		if len(r.active) == 0 {
+			first, err := r.queue.Get()
+			if err != nil {
 				return
 			}
+			if w := r.s.policy.Window(r.estimate(1 + r.queue.Len())); w > 0 {
+				if err := r.s.clk.Sleep(w); err != nil {
+					return
+				}
+			}
+			r.admit(first)
 		}
-		batch := append([]*call{first}, r.queue.Drain()...)
-		if err := r.execute(batch); err != nil {
+		for _, c := range r.queue.Drain() {
+			r.admit(c)
+		}
+		if err := r.iterate(); err != nil {
 			return
 		}
 	}
 }
 
-// execute charges GPU time for one cut batch. Calls are grouped by model
-// (a forward pass runs one model) and each group is split into steps that
-// respect the model's MaxBatchTokens.
-func (r *replica) execute(batch []*call) error {
+// iterate runs one GPU iteration: rank the active set by effective lane,
+// pack quantum-sized slices into one forward pass (a pass runs one
+// model), preempt mid-flight calls that lost their slot, charge the step
+// time, and retire finished calls.
+func (r *replica) iterate() error {
 	s := r.s
-	start := s.clk.Now()
-	var totTok int
-	for _, c := range batch {
-		totTok += c.tokens
-		r.delayHist.Add(start - c.queuedAt)
-		s.delayHist.Add(start - c.queuedAt)
-	}
-	r.mu.Lock()
-	r.batches++
-	r.batchW.Add(float64(len(batch)))
-	r.tokensW.Add(float64(totTok))
-	r.queuedTokens -= totTok
-	r.inflight = totTok
-	r.mu.Unlock()
-	defer func() {
-		r.mu.Lock()
-		r.inflight = 0
-		r.busyUntil = 0
-		r.mu.Unlock()
-	}()
+	now := s.clk.Now()
 
-	// Group by model, preserving arrival order within each group.
-	groups := make(map[string][]*call)
-	var order []string
-	for _, c := range batch {
-		if _, ok := groups[c.model]; !ok {
-			order = append(order, c.model)
-		}
-		groups[c.model] = append(groups[c.model], c)
+	// Rank by effective lane (aging promotes calls stalled without
+	// progress), FIFO within a lane. Effective lanes are fixed for the
+	// whole iteration, so compute them once, not per comparison. The sort
+	// is stable and active is kept in arrival order, so equal ranks keep
+	// their submission order.
+	ranked := make([]*call, len(r.active))
+	copy(ranked, r.active)
+	lanes := make(map[*call]Priority, len(ranked))
+	for _, c := range ranked {
+		lanes[c] = s.prio.Effective(c.prio, now-c.lastRun)
 	}
-	for _, name := range order {
-		cost := s.models[name]
-		pending := groups[name]
-		for len(pending) > 0 {
-			var step []*call
-			var stepCalls []model.BatchCall
-			var stepTok int
-			budget := cost.MaxBatchTokens
-			for len(pending) > 0 {
-				c := pending[0]
-				if len(step) > 0 && budget < c.tokens {
-					break
-				}
-				step = append(step, c)
-				stepCalls = append(stepCalls, model.BatchCall{NewTokens: c.tokens})
-				budget -= c.tokens
-				stepTok += c.tokens
-				pending = pending[1:]
-			}
-			d := cost.StepTime(stepCalls)
-			r.mu.Lock()
-			r.busyUntil = s.clk.Now() + d
-			r.mu.Unlock()
-			if err := s.clk.Sleep(d); err != nil {
-				return err
-			}
-			r.mu.Lock()
-			r.busy += d
-			r.steps++
-			r.inflight -= stepTok
-			r.mu.Unlock()
-			for _, c := range step {
-				c.done.Fire()
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if lanes[ranked[i]] != lanes[ranked[j]] {
+			return lanes[ranked[i]] < lanes[ranked[j]]
+		}
+		return ranked[i].queuedAt < ranked[j].queuedAt
+	})
+
+	// Pack the step in rank order. One forward pass runs one model: the
+	// top-ranked call picks it, peers of other models wait their turn.
+	// Packing is strict — when a slice no longer fits the budget the step
+	// is cut, so a lower lane can never leapfrog a higher one by being
+	// smaller.
+	stepModel := ranked[0].model
+	cost := s.models[stepModel]
+	budget := cost.MaxBatchTokens
+	if sb := s.prio.StepTokens(); sb > 0 && sb < budget {
+		budget = sb
+	}
+	quantum := s.prio.Quantum()
+	var selected []*call
+	var slices []int
+	var stepCalls []model.BatchCall
+	stepTok := 0
+	for _, c := range ranked {
+		if c.model != stepModel {
+			continue
+		}
+		slice := c.remaining
+		if quantum > 0 && slice > quantum {
+			slice = quantum
+		}
+		// An oversized slice still runs when it is the step's first call;
+		// otherwise the budget cuts the step here.
+		if len(selected) > 0 && stepTok+slice > budget {
+			break
+		}
+		selected = append(selected, c)
+		slices = append(slices, slice)
+		stepCalls = append(stepCalls, model.BatchCall{NewTokens: slice})
+		stepTok += slice
+		if stepTok >= budget {
+			break
+		}
+	}
+
+	// Iteration-boundary preemption: a call that was stepping and is
+	// still unfinished but not packed this iteration loses the GPU. Its
+	// OnPreempt hook runs now (the kernel unpins the call's KV file so
+	// preempted state is evictable); the matching resume hook runs when
+	// the call is next packed, and any cost it reports (e.g. restoring
+	// KV the daemon offloaded meanwhile) is charged to that step.
+	inStep := make(map[*call]bool, len(selected))
+	for _, c := range selected {
+		inStep[c] = true
+	}
+	for _, c := range r.active {
+		if inStep[c] || !c.scheduled {
+			continue
+		}
+		c.scheduled = false
+		r.mu.Lock()
+		r.preemptions++
+		r.mu.Unlock()
+		s.mu.Lock()
+		s.lanePreempts[c.prio.laneIndex()]++
+		s.mu.Unlock()
+		if c.onPreempt != nil {
+			c.onPreempt(true)
+		}
+	}
+	var resumeCost time.Duration
+	for _, c := range selected {
+		switch {
+		case !c.started:
+			c.started = true
+			d := now - c.queuedAt
+			r.delayHist.Add(d)
+			s.delayHist.Add(d)
+		case !c.scheduled:
+			if c.onPreempt != nil {
+				resumeCost += c.onPreempt(false)
 			}
 		}
+		c.scheduled = true
+	}
+
+	d := cost.StepTime(stepCalls) + resumeCost
+	r.mu.Lock()
+	r.busyUntil = now + d
+	r.mu.Unlock()
+	err := s.clk.Sleep(d)
+	r.mu.Lock()
+	if err == nil {
+		r.busy += d
+		r.batches++
+		r.steps++
+		r.execTokens += int64(stepTok)
+		r.batchW.Add(float64(len(selected)))
+		r.tokensW.Add(float64(stepTok))
+		r.inflight -= stepTok
+	}
+	r.busyUntil = 0
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// Retire finished calls and compact the active set in place,
+	// preserving arrival order.
+	live := r.active[:0]
+	finished := make([]*call, 0, len(selected))
+	for i, c := range selected {
+		c.remaining -= slices[i]
+	}
+	for _, c := range r.active {
+		if c.remaining <= 0 {
+			finished = append(finished, c)
+			continue
+		}
+		live = append(live, c)
+	}
+	r.active = live
+	end := s.clk.Now()
+	for _, c := range selected {
+		// Progress is stamped at step END: a call's own execution time is
+		// not "waiting", so even when one iteration outlasts AgeAfter the
+		// calls that just stepped do not age past fresh higher-lane work.
+		c.lastRun = end
+	}
+	for _, c := range finished {
+		// Lane delay is the call's queueing delay: total time in the
+		// scheduler minus the step time it would have cost running alone.
+		solo := s.models[c.model].StepTime([]model.BatchCall{{NewTokens: c.tokens}})
+		d := end - c.queuedAt - solo
+		if d < 0 {
+			d = 0
+		}
+		s.laneDelay[c.prio.laneIndex()].Add(d)
+		c.done.Fire()
 	}
 	return nil
 }

@@ -11,6 +11,11 @@ import (
 
 const target = "llama-13b"
 
+// submit is the test shorthand for the single SubmitCall entry point.
+func submit(s *Scheduler, model string, tokens int) error {
+	return s.SubmitCall(Call{Model: model, Tokens: tokens})
+}
+
 func newSched(clk *simclock.Clock, p Policy) *Scheduler {
 	return New(clk, Config{
 		Models: map[string]model.CostModel{
@@ -44,7 +49,7 @@ func TestSingleCallCost(t *testing.T) {
 	var elapsed time.Duration
 	run(t, clk, func() {
 		start := clk.Now()
-		if err := s.Submit(target, 1); err != nil {
+		if err := submit(s, target, 1); err != nil {
 			t.Errorf("Submit: %v", err)
 		}
 		elapsed = clk.Now() - start
@@ -72,7 +77,7 @@ func TestConcurrentCallsBatch(t *testing.T) {
 			wg.Add(1)
 			clk.Go("caller", func() {
 				defer wg.Done()
-				s.Submit(target, 1)
+				submit(s, target, 1)
 			})
 		}
 		wg.Wait()
@@ -93,32 +98,42 @@ func TestConcurrentCallsBatch(t *testing.T) {
 	}
 }
 
-func TestContinuousBatchingDuringBusyGPU(t *testing.T) {
+func TestIterationLevelSharingDuringLongPrefill(t *testing.T) {
+	// Under run-to-completion a 3000-token prefill held the GPU for
+	// ~860ms and every decode queued behind it. Iteration-level slicing
+	// must let decodes arriving mid-prefill join the running batch at the
+	// next iteration boundary and finish long before the prefill does.
 	clk := simclock.New()
 	s := newSched(clk, Immediate{})
-	var batches int64
+	var prefillDone, lastDecode int64
 	run(t, clk, func() {
 		wg := clk.NewWaitGroup()
-		// First call occupies the GPU (~860ms prefill); the stragglers
-		// arrive during that step and must coalesce into one batch.
 		wg.Add(1)
 		clk.Go("prefill", func() {
 			defer wg.Done()
-			s.Submit(target, 3000)
+			submit(s, target, 3000)
+			atomic.StoreInt64(&prefillDone, int64(clk.Now()))
 		})
 		clk.Sleep(5 * time.Millisecond)
 		for i := 0; i < 8; i++ {
 			wg.Add(1)
 			clk.Go("decode", func() {
 				defer wg.Done()
-				s.Submit(target, 1)
+				submit(s, target, 1)
+				if now := int64(clk.Now()); now > atomic.LoadInt64(&lastDecode) {
+					atomic.StoreInt64(&lastDecode, now)
+				}
 			})
 		}
 		wg.Wait()
-		atomic.StoreInt64(&batches, s.Stats().Batches)
 	})
-	if batches != 2 {
-		t.Fatalf("batches = %d, want 2 (prefill, then one decode batch)", batches)
+	if lastDecode >= prefillDone {
+		t.Fatalf("decodes finished at %v, after the prefill at %v (no iteration-level sharing)",
+			time.Duration(lastDecode), time.Duration(prefillDone))
+	}
+	// The prefill was sliced across many iterations, not run in one step.
+	if st := s.Stats(); st.Steps < 10 {
+		t.Fatalf("steps = %d, want the prefill sliced across many iterations", st.Steps)
 	}
 }
 
@@ -152,7 +167,7 @@ func TestPoissonBatchesTrickleArrivals(t *testing.T) {
 		run(t, clk, func() {
 			// Prime the rate estimator with a couple of warmup calls.
 			for i := 0; i < 3; i++ {
-				s.Submit(target, 1)
+				submit(s, target, 1)
 				clk.Sleep(2 * time.Millisecond)
 			}
 			wg := clk.NewWaitGroup()
@@ -160,7 +175,7 @@ func TestPoissonBatchesTrickleArrivals(t *testing.T) {
 				wg.Add(1)
 				clk.Go("caller", func() {
 					defer wg.Done()
-					s.Submit(target, 1)
+					submit(s, target, 1)
 				})
 				clk.Sleep(2 * time.Millisecond)
 			}
@@ -185,7 +200,7 @@ func TestFixedWindowGathers(t *testing.T) {
 			wg := clk.NewWaitGroup()
 			for i := 0; i < 2; i++ {
 				wg.Add(1)
-				clk.Go("c", func() { defer wg.Done(); s.Submit(target, 1) })
+				clk.Go("c", func() { defer wg.Done(); submit(s, target, 1) })
 				clk.Sleep(5 * time.Millisecond)
 			}
 			wg.Wait()
@@ -222,17 +237,17 @@ func TestMaxBatchTokensSplitsSteps(t *testing.T) {
 			wg.Add(1)
 			clk.Go("caller", func() {
 				defer wg.Done()
-				s.Submit(target, 80) // 4×80 = 320 tokens > 100/step
+				submit(s, target, 80) // 4×80 = 320 tokens > 100/step
 			})
 		}
 		wg.Wait()
 	})
 	st := s.Stats()
-	if st.Batches != 1 {
-		t.Fatalf("batches = %d", st.Batches)
-	}
 	if st.Steps != 4 {
 		t.Fatalf("steps = %d, want 4 (one per 80-token call)", st.Steps)
+	}
+	if st.Batches != st.Steps {
+		t.Fatalf("batches = %d, want %d (batches and steps both count iterations)", st.Batches, st.Steps)
 	}
 }
 
@@ -242,12 +257,15 @@ func TestOversizedCallStillRuns(t *testing.T) {
 	cm.MaxBatchTokens = 100
 	s := New(clk, Config{Models: map[string]model.CostModel{target: cm}, Policy: Immediate{}})
 	run(t, clk, func() {
-		if err := s.Submit(target, 500); err != nil {
+		if err := submit(s, target, 500); err != nil {
 			t.Errorf("oversized call: %v", err)
 		}
 	})
-	if s.Stats().Steps != 1 {
-		t.Fatalf("steps = %d", s.Stats().Steps)
+	// 500 tokens at the default 128-token quantum: four iterations, each
+	// allowed past the 100-token cap because an oversized slice always
+	// runs when it leads the step.
+	if st := s.Stats(); st.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", st.Steps)
 	}
 }
 
@@ -258,18 +276,15 @@ func TestMultiModelGrouping(t *testing.T) {
 		wg := clk.NewWaitGroup()
 		for i := 0; i < 3; i++ {
 			wg.Add(1)
-			clk.Go("t", func() { defer wg.Done(); s.Submit(target, 1) })
+			clk.Go("t", func() { defer wg.Done(); submit(s, target, 1) })
 			wg.Add(1)
-			clk.Go("d", func() { defer wg.Done(); s.Submit("draft", 1) })
+			clk.Go("d", func() { defer wg.Done(); submit(s, "draft", 1) })
 		}
 		wg.Wait()
 	})
 	st := s.Stats()
-	if st.Batches != 1 {
-		t.Fatalf("batches = %d", st.Batches)
-	}
 	if st.Steps != 2 {
-		t.Fatalf("steps = %d, want 2 (one per model)", st.Steps)
+		t.Fatalf("steps = %d, want 2 (one per model: a forward pass runs one model)", st.Steps)
 	}
 }
 
@@ -277,10 +292,10 @@ func TestUnknownModelRejected(t *testing.T) {
 	clk := simclock.New()
 	s := newSched(clk, Immediate{})
 	run(t, clk, func() {
-		if err := s.Submit("gpt-7", 1); err == nil {
+		if err := submit(s, "gpt-7", 1); err == nil {
 			t.Error("unknown model accepted")
 		}
-		if err := s.Submit(target, 0); err == nil {
+		if err := submit(s, target, 0); err == nil {
 			t.Error("zero tokens accepted")
 		}
 	})
@@ -295,7 +310,7 @@ func TestUtilizationAndQueueDelay(t *testing.T) {
 			wg.Add(1)
 			clk.Go("caller", func() {
 				defer wg.Done()
-				s.Submit(target, 1)
+				submit(s, target, 1)
 			})
 		}
 		wg.Wait()
@@ -319,7 +334,7 @@ func TestSchedulerShutdown(t *testing.T) {
 	errCh := make(chan error, 1)
 	clk.Go("caller", func() {
 		// Block the GPU then shut down mid-flight.
-		errCh <- s.Submit(target, 3000)
+		errCh <- submit(s, target, 3000)
 	})
 	time.Sleep(20 * time.Millisecond)
 	clk.Shutdown()

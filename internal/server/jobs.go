@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lipscript"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 )
 
@@ -31,6 +32,8 @@ type Job struct {
 	ID   string
 	User string
 	Proc *core.Process
+	// Priority is the scheduling lane the job's process runs in.
+	Priority sched.Priority
 	// SubmittedAt is the virtual submission time.
 	SubmittedAt time.Duration
 }
@@ -41,25 +44,56 @@ type jobRegistry struct {
 	k          *core.Kernel
 	maxPerUser int
 	retention  time.Duration
+	defPrio    sched.Priority
+	tenantPrio map[string]sched.Priority
 
 	mu   sync.Mutex
 	jobs map[string]*Job
 }
 
-func newJobRegistry(clk *simclock.Clock, k *core.Kernel, maxPerUser int, retention time.Duration) *jobRegistry {
-	if maxPerUser <= 0 {
-		maxPerUser = 32
+func newJobRegistry(clk *simclock.Clock, k *core.Kernel, o Options) *jobRegistry {
+	if o.MaxJobsPerUser <= 0 {
+		o.MaxJobsPerUser = 32
 	}
-	if retention <= 0 {
-		retention = 10 * time.Minute
+	if o.Retention <= 0 {
+		o.Retention = 10 * time.Minute
+	}
+	defPrio, err := sched.ParsePriority(o.DefaultPriority)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	tenantPrio := make(map[string]sched.Priority, len(o.TenantPriority))
+	for tenant, lane := range o.TenantPriority {
+		p, err := sched.ParsePriority(lane)
+		if err != nil {
+			panic("server: tenant " + tenant + ": " + err.Error())
+		}
+		tenantPrio[tenant] = p
 	}
 	return &jobRegistry{
 		clk:        clk,
 		k:          k,
-		maxPerUser: maxPerUser,
-		retention:  retention,
+		maxPerUser: o.MaxJobsPerUser,
+		retention:  o.Retention,
+		defPrio:    defPrio,
+		tenantPrio: tenantPrio,
 		jobs:       make(map[string]*Job),
 	}
+}
+
+// priorityFor resolves a submission's scheduling lane: an explicit
+// request field wins, then the tenant's configured default (the knob that
+// lets an offline tenant's jobs default to the batch lane), then the
+// server-wide default.
+func (r *jobRegistry) priorityFor(user, requested string) sched.Priority {
+	if requested != "" {
+		p, _ := sched.ParsePriority(requested) // validated at parse time
+		return p
+	}
+	if p, ok := r.tenantPrio[user]; ok {
+		return p
+	}
+	return r.defPrio
 }
 
 // sweepLocked drops jobs that finished more than retention of virtual
@@ -97,11 +131,13 @@ func (r *jobRegistry) Submit(user string, script *lipscript.Script) (*Job, error
 	if r.liveCountLocked(user) >= r.maxPerUser {
 		return nil, fmt.Errorf("%w: user %s has %d live jobs", errJobQuota, user, r.maxPerUser)
 	}
-	p := r.k.SubmitWith(user, script.Program(), core.SubmitOptions{Budget: script.Budget})
+	prio := r.priorityFor(user, script.Priority)
+	p := r.k.SubmitWith(user, script.Program(), core.SubmitOptions{Budget: script.Budget, Priority: prio})
 	j := &Job{
 		ID:          fmt.Sprintf("job-%06d", p.PID()),
 		User:        user,
 		Proc:        p,
+		Priority:    prio,
 		SubmittedAt: r.clk.Now(),
 	}
 	r.jobs[j.ID] = j

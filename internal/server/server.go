@@ -44,6 +44,15 @@ type Options struct {
 	Retention time.Duration
 	// MaxBodyBytes caps POST bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// DefaultPriority is the scheduling lane for submissions that carry
+	// no "priority" field ("interactive", "normal", or "batch"; default
+	// normal). Invalid names panic at construction.
+	DefaultPriority string
+	// TenantPriority overrides DefaultPriority per tenant — the knob that
+	// defaults a known offline tenant's jobs into the batch lane without
+	// every request saying so. An explicit "priority" on a request still
+	// wins.
+	TenantPriority map[string]string
 }
 
 // Server is the HTTP front-end.
@@ -71,7 +80,7 @@ func NewWith(clk *simclock.Clock, k *core.Kernel, o Options) *Server {
 		clk:     clk,
 		k:       k,
 		mux:     http.NewServeMux(),
-		jobs:    newJobRegistry(clk, k, o.MaxJobsPerUser, o.Retention),
+		jobs:    newJobRegistry(clk, k, o),
 		maxBody: o.MaxBodyBytes,
 	}
 	s.mux.HandleFunc("/healthz", s.health)
@@ -181,27 +190,42 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			"batches":        rs.Batches,
 			"steps":          rs.Steps,
 			"avg_batch":      rs.AvgBatch,
+			"preemptions":    rs.Preemptions,
 			"utilization":    rs.Utilization,
 			"busy_virtual":   rs.GPUBusy.String(),
 			"queue_delay_us": rs.DelayMean.Microseconds(),
 		})
 	}
+	lanes := make([]map[string]any, 0, len(st.Sched.Lanes))
+	for _, ls := range st.Sched.Lanes {
+		lanes = append(lanes, map[string]any{
+			"lane":               ls.Lane,
+			"calls":              ls.Calls,
+			"preemptions":        ls.Preemptions,
+			"queue_delay_p50_us": ls.DelayP50.Microseconds(),
+			"queue_delay_p99_us": ls.DelayP99.Microseconds(),
+			"queue_delay_max_us": ls.DelayMax.Microseconds(),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"processes":      st.Processes,
-		"pred_calls":     st.PredCalls,
-		"pred_tokens":    st.PredTokens,
-		"kv_calls":       st.KVCalls,
-		"tool_calls":     st.ToolCalls,
-		"ipc_messages":   st.IPCMessages,
-		"gpu_pages":      st.FS.GPUPages,
-		"gpu_page_cap":   st.FS.GPUPageCap,
-		"gpu_busy":       st.Sched.Utilization,
-		"avg_batch":      st.Sched.AvgBatch,
-		"gpus":           len(st.Sched.Replicas),
-		"dispatcher":     st.Sched.Dispatcher,
-		"admit_deferred": st.Sched.AdmitDeferred,
-		"admit_wait":     st.Sched.AdmitWait.String(),
+		"processes":       st.Processes,
+		"pred_calls":      st.PredCalls,
+		"pred_tokens":     st.PredTokens,
+		"kv_calls":        st.KVCalls,
+		"tool_calls":      st.ToolCalls,
+		"ipc_messages":    st.IPCMessages,
+		"gpu_pages":       st.FS.GPUPages,
+		"gpu_page_cap":    st.FS.GPUPageCap,
+		"gpu_busy":        st.Sched.Utilization,
+		"avg_batch":       st.Sched.AvgBatch,
+		"gpus":            len(st.Sched.Replicas),
+		"dispatcher":      st.Sched.Dispatcher,
+		"priority_policy": st.Sched.PriorityPolicy,
+		"preemptions":     st.Sched.Preemptions,
+		"lanes":           lanes,
+		"admit_deferred":  st.Sched.AdmitDeferred,
+		"admit_wait":      st.Sched.AdmitWait.String(),
 		"kvd": map[string]any{
 			"policy":             st.KVD.Policy,
 			"high_water":         st.KVD.HighWater,
@@ -278,6 +302,9 @@ type completionRequest struct {
 	MaxTokens   int     `json:"max_tokens"`
 	Temperature float64 `json:"temperature,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
+	// Priority is the scheduling lane ("interactive", "normal",
+	// "batch"); empty defers to the tenant default.
+	Priority string `json:"priority,omitempty"`
 }
 
 func (s *Server) completions(w http.ResponseWriter, r *http.Request) {
@@ -301,7 +328,7 @@ func (s *Server) completions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A prompt is a degenerate program: build it as one.
-	script := &lipscript.Script{Steps: []lipscript.Stmt{
+	script := &lipscript.Script{Priority: req.Priority, Steps: []lipscript.Stmt{
 		{Op: lipscript.OpAnon, S: "ctx"},
 		{Op: lipscript.OpPrefill, S: "ctx", Text: req.Prompt},
 		{Op: lipscript.OpGenerate, S: "ctx", MaxTokens: req.MaxTokens,

@@ -33,6 +33,7 @@ type jobResponse struct {
 	JobID       string      `json:"job_id"`
 	PID         int         `json:"pid"`
 	User        string      `json:"user"`
+	Priority    string      `json:"priority"`
 	Status      core.Status `json:"status"`
 	Output      string      `json:"output,omitempty"`
 	PredTokens  int64       `json:"pred_tokens"`
@@ -48,6 +49,7 @@ func (s *Server) jobResponse(j *Job) jobResponse {
 		JobID:       j.ID,
 		PID:         p.PID(),
 		User:        j.User,
+		Priority:    j.Priority.String(),
 		Status:      p.Status(),
 		Output:      p.Output(),
 		PredTokens:  p.PredTokens(),
