@@ -41,6 +41,11 @@
 // 3x better than fifo at equal (±10%) aggregate token throughput with
 // zero starved batch calls.
 //
+// The seeded experiments (fig3, editor, scaling, pressure, migrate,
+// slo) accept -seed to shift their deterministic workload streams: two
+// runs with the same -seed produce byte-identical BENCH JSON, and -seed
+// 0 (the default) keeps each experiment's recorded-baseline streams.
+//
 // The scaling, pressure, migrate, and slo experiments also write
 // machine-readable BENCH_<exp>.json artifacts into -json-dir (default
 // "."; empty disables), seeding the perf trajectory the CI bench gate
@@ -86,6 +91,8 @@ func main() {
 		"home-overload factor for -exp migrate (0 = core default)")
 	jsonDir := flag.String("json-dir", ".",
 		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo (empty disables)")
+	seed := flag.Int64("seed", 0,
+		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo); 0 keeps each experiment's recorded baseline")
 	flag.Parse()
 
 	// Reject bad enumerated flag values up front, each with the list of
@@ -111,19 +118,19 @@ func main() {
 		name string
 		fn   func(bool)
 	}{
-		{"fig3", runFig3},
+		{"fig3", func(q bool) { runFig3(q, *seed) }},
 		{"toolcalls", runToolCalls},
 		{"constrained", runConstrained},
 		{"speculative", runSpeculative},
 		{"multiround", runMultiRound},
 		{"tot", runTree},
-		{"editor", runEditor},
+		{"editor", func(q bool) { runEditor(q, *seed) }},
 		{"batching", runBatching},
 		{"overhead", runOverhead},
-		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch, *jsonDir) }},
-		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir) }},
-		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir) }},
-		{"slo", func(q bool) { runSLO(q, *jsonDir) }},
+		{"scaling", func(q bool) { runScaling(q, *gpus, *dispatch, *jsonDir, *seed) }},
+		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir, *seed) }},
+		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir, *seed) }},
+		{"slo", func(q bool) { runSLO(q, *jsonDir, *seed) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -145,10 +152,13 @@ func validExperiment(name string) bool {
 	return false
 }
 
-func runFig3(quick bool) {
+func runFig3(quick bool, seed int64) {
 	cfg := experiments.DefaultFig3()
 	if quick {
 		cfg = experiments.QuickFig3()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	pts := experiments.RunFig3(cfg)
 	lat, thr := experiments.Fig3Tables(pts)
@@ -201,10 +211,13 @@ func runTree(quick bool) {
 	fmt.Println(tab.String())
 }
 
-func runEditor(quick bool) {
+func runEditor(quick bool, seed int64) {
 	cfg := experiments.DefaultEditor()
 	if quick {
 		cfg.Keystrokes = 40
+	}
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	tab := experiments.EditorTable(experiments.RunEditor(cfg))
 	fmt.Println(tab.String())
@@ -228,10 +241,13 @@ func runOverhead(quick bool) {
 	fmt.Println(tab.String())
 }
 
-func runScaling(quick bool, gpus, dispatch, jsonDir string) {
+func runScaling(quick bool, gpus, dispatch, jsonDir string, seed int64) {
 	cfg := experiments.DefaultScaling()
 	if quick {
 		cfg = experiments.QuickScaling()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	if gpus != "" {
 		cfg.Replicas = nil
@@ -253,10 +269,13 @@ func runScaling(quick bool, gpus, dispatch, jsonDir string) {
 	writeBench(jsonDir, "scaling", cfg, pts)
 }
 
-func runPressure(quick bool, kvPolicy string, kvHighWater float64, jsonDir string) {
+func runPressure(quick bool, kvPolicy string, kvHighWater float64, jsonDir string, seed int64) {
 	cfg := experiments.DefaultPressure()
 	if quick {
 		cfg = experiments.QuickPressure()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	if policies := splitList(kvPolicy); len(policies) > 0 {
 		cfg.Policies = policies
@@ -268,10 +287,13 @@ func runPressure(quick bool, kvPolicy string, kvHighWater float64, jsonDir strin
 	writeBench(jsonDir, "pressure", cfg, pts)
 }
 
-func runMigrate(quick bool, gbps, threshold float64, jsonDir string) {
+func runMigrate(quick bool, gbps, threshold float64, jsonDir string, seed int64) {
 	cfg := experiments.DefaultMigrate()
 	if quick {
 		cfg = experiments.QuickMigrate()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	cfg.InterconnectGbps = gbps
 	cfg.Threshold = threshold
@@ -281,10 +303,13 @@ func runMigrate(quick bool, gbps, threshold float64, jsonDir string) {
 	writeBench(jsonDir, "migrate", cfg, pts)
 }
 
-func runSLO(quick bool, jsonDir string) {
+func runSLO(quick bool, jsonDir string, seed int64) {
 	cfg := experiments.DefaultSLO()
 	if quick {
 		cfg = experiments.QuickSLO()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	pts := experiments.RunSLO(cfg)
 	tab := experiments.SLOTable(pts)

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch for a justified invariant exception is a comment of
+// the form
+//
+//	//lint:allow <rule> <reason>
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is mandatory: an allow without one, or naming a rule the
+// suite does not have, is itself reported, so every exception in the
+// tree is attributable and greppable.
+
+const allowPrefix = "lint:allow"
+
+// allowMark is one parsed //lint:allow annotation.
+type allowMark struct {
+	pos    token.Position
+	rule   string
+	reason string
+}
+
+// collectAllows parses every lint:allow annotation in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowMark {
+	var marks []allowMark
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				rule, reason, _ := strings.Cut(rest, " ")
+				marks = append(marks, allowMark{
+					pos:    fset.Position(c.Pos()),
+					rule:   rule,
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return marks
+}
+
+// filterAllowed drops diagnostics covered by a well-formed allow
+// annotation on the same or the preceding line, and reports malformed
+// annotations (missing reason, unknown rule) as diagnostics of their own
+// under the synthetic rule name "lint".
+func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) (kept, allowErrs []Diagnostic) {
+	marks := collectAllows(fset, files)
+	for _, m := range marks {
+		switch {
+		case m.rule == "":
+			allowErrs = append(allowErrs, Diagnostic{Pos: m.pos, Rule: "lint",
+				Message: "lint:allow needs a rule name and a reason"})
+		case !known[m.rule]:
+			allowErrs = append(allowErrs, Diagnostic{Pos: m.pos, Rule: "lint",
+				Message: "lint:allow names unknown rule " + m.rule})
+		case m.reason == "":
+			allowErrs = append(allowErrs, Diagnostic{Pos: m.pos, Rule: "lint",
+				Message: "lint:allow " + m.rule + " needs a reason"})
+		}
+	}
+	for _, d := range diags {
+		allowed := false
+		for _, m := range marks {
+			if m.rule != d.Rule || m.reason == "" {
+				continue
+			}
+			if m.pos.Filename == d.Pos.Filename &&
+				(m.pos.Line == d.Pos.Line || m.pos.Line == d.Pos.Line-1) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, allowErrs
+}

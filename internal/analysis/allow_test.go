@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+//lint:allow wallclock justified, clock fixture
+var a = 1
+var b = 2 //lint:allow maporder justified, same line
+//lint:allow wallclock
+var c = 3
+//lint:allow nosuchrule some reason
+var d = 4
+//lint:allow
+var e = 5
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func diagAt(line int, rule string) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: "test.go", Line: line},
+		Rule:    rule,
+		Message: "finding",
+	}
+}
+
+func TestAllowSuppression(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	known := map[string]bool{"wallclock": true, "maporder": true}
+	diags := []Diagnostic{
+		diagAt(4, "wallclock"), // covered by the allow on line 3
+		diagAt(5, "maporder"),  // covered by the same-line allow
+		diagAt(7, "wallclock"), // allow on line 6 has no reason: not covered
+		diagAt(9, "maporder"),  // allow on line 8 names an unknown rule
+		diagAt(4, "maporder"),  // rule mismatch with the line-3 allow
+	}
+	kept, allowErrs := filterAllowed(fset, files, diags, known)
+
+	if len(kept) != 3 {
+		t.Fatalf("kept %d diagnostics, want 3: %v", len(kept), kept)
+	}
+	for _, d := range kept {
+		if d.Pos.Line == 4 && d.Rule == "wallclock" || d.Pos.Line == 5 {
+			t.Errorf("diagnostic %v should have been suppressed", d)
+		}
+	}
+
+	wantErrs := map[int]string{
+		6:  "needs a reason",
+		8:  "unknown rule",
+		10: "needs a rule name",
+	}
+	if len(allowErrs) != len(wantErrs) {
+		t.Fatalf("got %d allow errors, want %d: %v", len(allowErrs), len(wantErrs), allowErrs)
+	}
+	for _, e := range allowErrs {
+		if e.Rule != "lint" {
+			t.Errorf("allow error %v should use the synthetic rule lint", e)
+		}
+		want, ok := wantErrs[e.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected allow error at line %d: %s", e.Pos.Line, e.Message)
+			continue
+		}
+		if !strings.Contains(e.Message, want) {
+			t.Errorf("allow error at line %d: got %q, want substring %q", e.Pos.Line, e.Message, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs one internal/analysis analyzer over a
+// fixture directory and checks its diagnostics against // want
+// annotations, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which the offline toolchain cannot vendor; see internal/analysis).
+//
+// A fixture is a directory of Go files forming one package. A line that
+// must be reported carries a trailing comment
+//
+//	// want "regexp"
+//
+// whose pattern must match the diagnostic message produced at that line;
+// several want comments on one line each need a matching diagnostic.
+// Lines without a want comment must stay silent. Because analyzers key
+// exemptions off the import path (internal/simclock, internal/server,
+// non-internal commands), the caller supplies the pretend path the
+// fixture is checked under — the same files can be run once as
+// "repro/internal/fixture" expecting findings and once as
+// "repro/internal/simclock" expecting silence.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one expectation inside a comment. The pattern is a
+// double-quoted Go string so fixtures can escape quotes.
+var wantRe = regexp.MustCompile(`want ("(?:[^"\\]|\\.)*")`)
+
+// expectation is one // want entry, positioned at the line it annotates.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory as one package under the given import
+// path, runs exactly one analyzer (allow filtering included), and
+// reports every mismatch between diagnostics and // want annotations as
+// a test error.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", posOf(d), d.Rule, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claimWant marks the first unclaimed expectation matching d.
+func claimWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == filepath.Base(d.Pos.Filename) &&
+			w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posOf(d analysis.Diagnostic) string {
+	return filepath.Base(d.Pos.Filename) + ":" + strconv.Itoa(d.Pos.Line)
+}
+
+// collectWants parses every // want annotation in the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					lit, err := strconv.Unquote(m[1])
+					if err != nil {
+						t.Fatalf("bad want literal %s: %v", m[1], err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", lit, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture parses and type-checks dir as one package named pkgPath.
+// Standard-library imports are resolved from the build cache's export
+// data via analysis.ExportImporter.
+func loadFixture(dir, pkgPath string) (*analysis.Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, _ := strconv.Unquote(spec.Path.Value)
+			if p != "" && !strings.HasPrefix(p, "repro/") {
+				imports[p] = true
+			}
+		}
+	}
+	patterns := make([]string, 0, len(imports))
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	moduleDir, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	imp, err := analysis.ExportImporter(moduleDir, fset, patterns)
+	if err != nil {
+		return nil, err
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		Fset:  fset,
+		Path:  pkgPath,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

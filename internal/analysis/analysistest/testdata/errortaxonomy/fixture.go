@@ -1,0 +1,25 @@
+package fixture
+
+import "net/http"
+
+func rawHTTPError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "http.Error"
+}
+
+func rawErrorStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want "raw WriteHeader"
+}
+
+func nonConstantStatus(w http.ResponseWriter, status int) {
+	w.WriteHeader(status) // want "non-constant status"
+}
+
+func successStatusesAreFine(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func allowedTaxonomyWriter(w http.ResponseWriter, status int) {
+	//lint:allow errortaxonomy fixture stands in for the taxonomy writer itself
+	w.WriteHeader(status)
+}

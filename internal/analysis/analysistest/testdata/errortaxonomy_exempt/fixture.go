@@ -1,0 +1,10 @@
+// Package fixture is checked under a non-server import path: the rule
+// scopes to repro/internal/server only, so nothing here may be reported.
+package fixture
+
+import "net/http"
+
+func rawErrorOutsideServer(w http.ResponseWriter, status int) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+	w.WriteHeader(status)
+}

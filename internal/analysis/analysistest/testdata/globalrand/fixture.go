@@ -1,0 +1,19 @@
+package fixture
+
+import "math/rand"
+
+func globalSourceDraws() int {
+	rand.Seed(1)                       // want "process-global"
+	rand.Shuffle(3, func(i, j int) {}) // want "process-global"
+	_ = rand.Float64()                 // want "process-global"
+	return rand.Intn(10)               // want "process-global"
+}
+
+func injectedSeededRandIsFine(r *rand.Rand) int {
+	_ = r.Float64()
+	return r.Intn(10)
+}
+
+func constructingTheInjectedRandIsFine(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,121 @@
+package fixture
+
+import "sync"
+
+type hub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	onDone func()
+	subs   []func()
+	ch     chan struct{}
+	n      int
+}
+
+func (h *hub) publish()   {}
+func (h *hub) OnPreempt() {}
+func (h *hub) Wait()      {}
+func (h *hub) size() int  { return h.n }
+
+func (h *hub) publishUnderLock() {
+	h.mu.Lock()
+	h.publish() // want "publishes events"
+	h.mu.Unlock()
+}
+
+func (h *hub) publishUnderDeferredLock() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.publish() // want "publishes events"
+}
+
+func (h *hub) callbackFieldUnderLock() {
+	h.mu.Lock()
+	h.onDone() // want "function field"
+	h.mu.Unlock()
+}
+
+func (h *hub) funcValueUnderLock(fn func()) {
+	h.mu.Lock()
+	fn() // want "function value"
+	h.mu.Unlock()
+}
+
+func (h *hub) sendUnderLock() {
+	h.mu.Lock()
+	h.ch <- struct{}{} // want "channel send"
+	h.mu.Unlock()
+}
+
+func (h *hub) namedCallbacksUnderLock() {
+	h.mu.Lock()
+	h.OnPreempt() // want "preemption callback"
+	h.Wait()      // want "blocks"
+	h.mu.Unlock()
+}
+
+type reg struct{ mu sync.RWMutex }
+
+func (r *reg) publishUnderReadLock(h *hub) {
+	r.mu.RLock()
+	h.publish() // want "publishes events"
+	r.mu.RUnlock()
+}
+
+func (h *hub) publishAfterUnlockIsFine() {
+	h.mu.Lock()
+	h.n++
+	h.mu.Unlock()
+	h.publish()
+	h.onDone()
+}
+
+func (h *hub) branchScopedUnlockIsFine(early bool) {
+	h.mu.Lock()
+	if early {
+		h.mu.Unlock()
+		h.publish()
+		return
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) collectThenFireIsFine() {
+	h.mu.Lock()
+	fire := make([]func(), 0, len(h.subs))
+	fire = append(fire, h.subs...)
+	h.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+}
+
+func (h *hub) closureBuiltUnderLockIsFine() func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.n
+	return func() {
+		h.onDone()
+		_ = n
+	}
+}
+
+func (h *hub) condWaitIsFine() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.n == 0 {
+		h.cond.Wait()
+	}
+}
+
+func (h *hub) plainMethodsAreFine() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.size()
+}
+
+func (h *hub) deliberateOrderingAllowed() {
+	h.mu.Lock()
+	//lint:allow locksafepublish publish only buffers here; ordering under the lock is the point
+	h.publish()
+	h.mu.Unlock()
+}

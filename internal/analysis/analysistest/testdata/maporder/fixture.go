@@ -1,0 +1,82 @@
+package fixture
+
+import "sort"
+
+func unsortedAppendLeaks(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}
+
+func minMaxSelectionLeaks(m map[string]int) string {
+	var best string
+	bestN := -1
+	for k, n := range m {
+		if n > bestN {
+			best, bestN = k, n // want "min/max selection"
+		}
+	}
+	return best
+}
+
+func collectThenSortIsFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceAlsoCounts(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func deleteOnlySweepIsFine(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func setBuildingIsFine(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func loopLocalScratchIsFine(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var pos []int
+		for _, v := range vs {
+			if v > 0 {
+				pos = append(pos, v)
+			}
+		}
+		total += len(pos)
+	}
+	return total
+}
+
+func totalOrderAllowed(m map[string]int) string {
+	var best string
+	bestN := -1
+	for k, n := range m {
+		if n > bestN || (n == bestN && k < best) {
+			//lint:allow maporder comparison is a total order, map order cannot change the result
+			best, bestN = k, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import "time"
+
+func readsWallClock() time.Duration {
+	t0 := time.Now()                 // want "wall clock"
+	time.Sleep(time.Millisecond)     // want "wall clock"
+	<-time.After(time.Second)        // want "wall clock"
+	tm := time.NewTimer(time.Second) // want "wall clock"
+	defer tm.Stop()
+	return time.Since(t0) // want "wall clock"
+}
+
+func valueHelpersAreFine() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	return d + 2*time.Millisecond
+}
+
+func allowedWithReason() time.Time {
+	//lint:allow wallclock fixture demonstrates a justified exception
+	return time.Now()
+}

@@ -1,0 +1,11 @@
+// Package fixture is checked under exempt import paths
+// (repro/internal/simclock and repro/cmd/fixture): wall-clock reads here
+// must produce no diagnostics.
+package fixture
+
+import "time"
+
+func virtualClockImplementation() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrorTaxonomy keeps internal/server's error responses on the typed
+// taxonomy path (errors.go: writeError/writeErr + errorCode). Clients —
+// including the repository's own experiment harnesses — dispatch on the
+// machine-readable error envelope; a raw http.Error or an ad-hoc
+// WriteHeader on an error path emits a body the taxonomy does not
+// describe and silently breaks that contract. Success statuses written
+// as constants below 400 (200, 202) are fine; the two writers that
+// legitimately place a computed status on the wire carry
+// //lint:allow errortaxonomy annotations.
+var ErrorTaxonomy = &Analyzer{
+	Name: "errortaxonomy",
+	Doc: "require internal/server error responses to go through the typed taxonomy writer; " +
+		"forbid raw http.Error and ad-hoc error-status WriteHeader",
+	Run: runErrorTaxonomy,
+}
+
+func runErrorTaxonomy(pass *Pass) error {
+	if !strings.HasSuffix(pass.Path, "internal/server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" &&
+				fn.Name() == "Error" && fn.Type().(*types.Signature).Recv() == nil {
+				pass.Reportf(call.Pos(),
+					"http.Error bypasses the error taxonomy; use writeError/writeErr so clients get the typed envelope")
+				return true
+			}
+			if fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+				checkWriteHeader(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWriteHeader allows constant success statuses and flags everything
+// else: a constant >= 400 is a hand-rolled error response, and a
+// non-constant status means an error code may flow around the taxonomy
+// writer.
+func checkWriteHeader(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if ok && tv.Value != nil {
+		if code, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && code < 400 {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"raw WriteHeader(%s) writes an error status outside the taxonomy; use writeError/writeErr",
+			tv.Value.ExactString())
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"non-constant status in WriteHeader; error statuses must flow through the typed taxonomy writer")
+}

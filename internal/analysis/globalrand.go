@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand forbids the package-level math/rand functions in internal/.
+// Those draw from the process-global source, so two runs of a sweep — or
+// the same sweep after an unrelated package init gains a rand call —
+// produce different traffic and different BENCH_*.json artifacts.
+// Randomness must flow from an injected *rand.Rand constructed from an
+// explicit seed (rand.New(rand.NewSource(seed))), which is exactly what
+// lets symphony-bench's -seed flag make result artifacts bit-reproducible.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand functions in internal/; inject a seeded *rand.Rand " +
+		"so experiment traffic is reproducible",
+	Run: runGlobalRand,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level draws backed
+// by the global source. Constructors (New, NewSource, NewZipf) are fine:
+// they are how the injected, seeded generator is built.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint32": true, "Uint64": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	if !strings.Contains(pass.Path, "internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on an injected *rand.Rand are the sanctioned form.
+			if fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global source; inject a seeded *rand.Rand instead",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The loader type-checks module packages with nothing beyond the standard
+// library and the go tool: `go list -export -deps` yields every
+// dependency's compiled export data from the build cache (offline — no
+// module proxy involved), the gc importer reads it, and the module's own
+// packages are parsed and type-checked from source in dependency order so
+// analyzers get syntax trees with full type information.
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and
+// returns the decoded package stream in dependency-first order.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns an importer over compiled export data for the
+// packages matched by patterns (typically the standard-library import
+// paths a test fixture uses), resolved by `go list -export` run in dir.
+// The analysistest harness uses it to type-check fixture packages that
+// live outside the module's build graph.
+func ExportImporter(dir string, fset *token.FileSet, patterns []string) (types.Importer, error) {
+	if len(patterns) == 0 {
+		return importer.ForCompiler(fset, "gc", func(string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("analysis: no packages listed")
+		}), nil
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	}), nil
+}
+
+// moduleImporter resolves imports for source-checked module packages:
+// already-checked module packages by identity, everything else through
+// the gc importer over `go list`'s export data.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	gc      types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.gc.ImportFrom(path, "", 0)
+}
+
+// LoadPackages type-checks the module packages matched by patterns
+// (relative to dir), returning them in dependency-first order. Standard
+// library and other non-module dependencies are imported from export
+// data, not analyzed.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	imp := &moduleImporter{
+		checked: make(map[string]*types.Package),
+		gc:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		imp.checked[p.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses and type-checks one module package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, p listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		Fset:  fset,
+		Path:  p.ImportPath,
+		Dir:   p.Dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewTypesInfo allocates the type-checker result maps the analyzers
+// consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

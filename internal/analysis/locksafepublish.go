@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockSafePublish flags statements that can re-enter user code or block
+// while a sync.Mutex/RWMutex acquired in the same function is still
+// held: event publishes, preemption callbacks, calls through func-typed
+// values, channel sends, and blocking waits. Any of these under a held
+// lock is a deadlock-by-composition hazard — the callee may (now or
+// after a refactor) call back into the locked component — and the race
+// detector cannot see it because no data race occurs until the deadlock
+// does. The kernel's convention is collect-under-lock, publish-after:
+// build the callback/notification list while holding the mutex, release
+// it, then fire.
+//
+// The analysis is function-local and tracks lock identity textually
+// (receiver expression). A region opens at mu.Lock()/mu.RLock() and
+// closes at the matching mu.Unlock()/mu.RUnlock() in the same statement
+// list; `defer mu.Unlock()` holds to end of function. Function literals
+// are not descended into: a closure built under the lock runs later,
+// outside the region (the collect-then-fire idiom itself). Deliberate
+// exceptions — e.g. publishing under the lock to guarantee event order —
+// carry //lint:allow locksafepublish annotations.
+var LockSafePublish = &Analyzer{
+	Name: "locksafepublish",
+	Doc: "flag publishes, callbacks, func-value calls, channel sends, and blocking waits " +
+		"made while a sync mutex acquired in the same function is held",
+	Run: runLockSafePublish,
+}
+
+// lockDangerFuncs are method names that publish to subscribers, invoke
+// user callbacks, or park the caller. simclock's Event.Fire is
+// deliberately absent: its contract is non-blocking set-and-wake.
+var lockDangerFuncs = map[string]string{
+	"publish":      "publishes events",
+	"publishFinal": "publishes events",
+	"Publish":      "publishes events",
+	"OnPreempt":    "invokes a preemption callback",
+	"Wait":         "blocks",
+	"WaitFor":      "blocks",
+}
+
+func runLockSafePublish(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockRegions(pass, body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockOp classifies a statement as a mutex operation, returning the
+// textual receiver (e.g. "d.mu"), the method name, and whether it
+// matched.
+func lockOp(pass *Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// checkLockRegions walks one statement list in order, maintaining the
+// set of held locks. Control-flow bodies are recursed into with a copy
+// of the held set, so an unlock inside a branch scopes to that branch.
+func checkLockRegions(pass *Pass, list []ast.Stmt, held map[string]bool) {
+	copyHeld := func() map[string]bool {
+		c := make(map[string]bool, len(held))
+		for k := range held {
+			c[k] = true
+		}
+		return c
+	}
+	for _, stmt := range list {
+		if l, ok := stmt.(*ast.LabeledStmt); ok {
+			stmt = l.Stmt
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, method, ok := lockOp(pass, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						held[recv] = true
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+			checkDangers(pass, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open to end of
+			// function; other defers run after every unlock.
+		case *ast.GoStmt:
+			// The spawned goroutine does not inherit the lock.
+		case *ast.BlockStmt:
+			checkLockRegions(pass, s.List, copyHeld())
+		case *ast.IfStmt:
+			checkDangers(pass, s.Cond, held)
+			if s.Init != nil {
+				checkDangers(pass, s.Init, held)
+			}
+			checkLockRegions(pass, s.Body.List, copyHeld())
+			if s.Else != nil {
+				checkLockRegions(pass, []ast.Stmt{s.Else}, copyHeld())
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				checkDangers(pass, s.Cond, held)
+			}
+			checkLockRegions(pass, s.Body.List, copyHeld())
+		case *ast.RangeStmt:
+			checkDangers(pass, s.X, held)
+			checkLockRegions(pass, s.Body.List, copyHeld())
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				checkDangers(pass, s.Tag, held)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockRegions(pass, cc.Body, copyHeld())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockRegions(pass, cc.Body, copyHeld())
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						checkDangers(pass, cc.Comm, held)
+					}
+					checkLockRegions(pass, cc.Body, copyHeld())
+				}
+			}
+		default:
+			checkDangers(pass, stmt, held)
+		}
+	}
+}
+
+// heldName returns a stable representative lock name for diagnostics.
+func heldName(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// checkDangers scans one statement (or expression) for re-entrant or
+// blocking operations while locks are held, without descending into
+// function literals.
+func checkDangers(pass *Pass, node ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	lock := heldName(held)
+	inspectSkippingFuncLits(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send while %s is held; collect under the lock and send after unlocking", lock)
+		case *ast.CallExpr:
+			reportDangerousCall(pass, n, lock)
+		}
+		return true
+	})
+}
+
+// isSyncCond reports whether e's type is sync.Cond (possibly behind a
+// pointer).
+func isSyncCond(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Cond"
+}
+
+// reportDangerousCall flags calls that publish, invoke callbacks, go
+// through func-typed values, or block.
+func reportDangerousCall(pass *Pass, call *ast.CallExpr, lock string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isVar := pass.TypesInfo.Uses[fun].(*types.Var); isVar {
+			pass.Reportf(call.Pos(),
+				"call through function value %s while %s is held may re-enter the locked component",
+				fun.Name, lock)
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.FieldVal {
+			pass.Reportf(call.Pos(),
+				"call through function field %s while %s is held may re-enter the locked component",
+				types.ExprString(fun), lock)
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		// sync.Cond.Wait is the one blocking call that REQUIRES the
+		// associated lock held (it releases and reacquires it itself).
+		if isSyncCond(pass, fun.X) {
+			return
+		}
+		if what, bad := lockDangerFuncs[fn.Name()]; bad {
+			pass.Reportf(call.Pos(),
+				"%s %s while %s is held; release the lock first (collect-then-fire)",
+				types.ExprString(fun), what, lock)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClock enforces the virtual-time invariant: inside internal/, wall
+// time exists only in internal/simclock. Every latency and throughput
+// number this repository reports is measured on the simulated clock; one
+// stray time.Now or time.Sleep silently couples a result to host load
+// and destroys run-to-run reproducibility. Test files are exempt — their
+// wall-clock deadlines guard against hung goroutines, not simulation
+// logic (the loader never feeds _test.go files to the suite).
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, time.After, timers) in internal/ " +
+		"outside internal/simclock; virtual time must come from the simulation clock",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the time package entry points that read or schedule
+// against the host clock. Pure value helpers (time.Duration arithmetic,
+// constants, ParseDuration) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !strings.Contains(pass.Path, "internal/") ||
+		strings.HasSuffix(pass.Path, "internal/simclock") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() == nil && wallClockFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; use the injected *simclock.Clock (virtual time only in internal/)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

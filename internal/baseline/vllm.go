@@ -136,7 +136,9 @@ func (s *VLLM) ensureSpace(tokens int) {
 		var victim *cacheNode
 		for n := range s.entries {
 			if victim == nil || n.lastUse < victim.lastUse ||
-				(n.lastUse == victim.lastUse && n.tokens > victim.tokens) {
+				(n.lastUse == victim.lastUse && n.tokens > victim.tokens) ||
+				(n.lastUse == victim.lastUse && n.tokens == victim.tokens && n.key < victim.key) {
+				//lint:allow maporder the comparison is a total order (lastUse, tokens, key), so map order cannot change the victim
 				victim = n
 			}
 		}

@@ -61,6 +61,7 @@ func (c *Ctx) Detokenize(ids []token.ID) string { return c.p.k.tok.Decode(ids) }
 func (c *Ctx) Emit(s string) {
 	c.p.mu.Lock()
 	c.p.out.WriteString(s)
+	//lint:allow locksafepublish publish is deliberately under p.mu so event order matches output order; publish only buffers, never calls out
 	c.p.publish(ProcEvent{Kind: EventEmit, Text: s})
 	c.p.mu.Unlock()
 }

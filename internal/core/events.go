@@ -143,6 +143,7 @@ func (h *eventHub) publishFinal(e ProcEvent) {
 	subs := make([]*Subscription, 0, len(h.subs))
 	for s := range h.subs {
 		s.push(e)
+		//lint:allow maporder seal() is per-subscriber and commutative; cross-subscriber order carries no information
 		subs = append(subs, s)
 	}
 	h.subs = make(map[*Subscription]struct{})

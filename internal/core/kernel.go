@@ -408,31 +408,23 @@ const (
 	stateDone
 )
 
+// gaugeDelta adjusts one thread-state gauge by d. Caller holds gaugeMu.
+func (k *Kernel) gaugeDelta(s threadState, d int) {
+	switch s {
+	case stateRunning:
+		k.running += d
+	case stateInferWait:
+		k.inferWait += d
+	case stateIOWait:
+		k.ioWait += d
+	}
+}
+
 func (k *Kernel) gauge(from, to threadState) {
 	k.gaugeMu.Lock()
 	defer k.gaugeMu.Unlock()
-	dec := func(s threadState) {
-		switch s {
-		case stateRunning:
-			k.running--
-		case stateInferWait:
-			k.inferWait--
-		case stateIOWait:
-			k.ioWait--
-		}
-	}
-	inc := func(s threadState) {
-		switch s {
-		case stateRunning:
-			k.running++
-		case stateInferWait:
-			k.inferWait++
-		case stateIOWait:
-			k.ioWait++
-		}
-	}
-	dec(from)
-	inc(to)
+	k.gaugeDelta(from, -1)
+	k.gaugeDelta(to, +1)
 	if t := k.running + k.inferWait + k.ioWait; t > k.peakThread {
 		k.peakThread = t
 	}

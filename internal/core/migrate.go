@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -170,14 +171,23 @@ type rootInfo struct {
 	moved    bool
 }
 
+// fileRec is the index's per-file record: the family root plus a
+// registration seq, so sweeps over the files map can process entries in
+// a deterministic order.
+type fileRec struct {
+	root model.CtxHash
+	seq  int64
+}
+
 // prefixIndex is the kernel-level global prefix index: which replica
 // holds each root KV hash's prefix pages. It is maintained lazily from
 // the pred path (append), fork (children share the parent's root),
 // truncate (a root change re-registers the file), and remove (swept).
 type prefixIndex struct {
-	mu    sync.Mutex
-	roots map[model.CtxHash]*rootInfo
-	files map[*kvfs.File]model.CtxHash
+	mu      sync.Mutex
+	roots   map[model.CtxHash]*rootInfo
+	files   map[*kvfs.File]fileRec
+	fileSeq int64
 	// perHome counts live families per home replica, so the hot pred
 	// path reads the home's family count in O(1) instead of scanning
 	// every root.
@@ -188,7 +198,7 @@ type prefixIndex struct {
 func newPrefixIndex() *prefixIndex {
 	return &prefixIndex{
 		roots:   make(map[model.CtxHash]*rootInfo),
-		files:   make(map[*kvfs.File]model.CtxHash),
+		files:   make(map[*kvfs.File]fileRec),
 		perHome: make(map[int]int),
 	}
 }
@@ -203,11 +213,12 @@ func (x *prefixIndex) observe(f *kvfs.File, root model.CtxHash, def int) (home, 
 		x.sinceGC = 0
 		x.gcLocked()
 	}
-	if prev, ok := x.files[f]; ok && prev != root {
-		x.dropFileLocked(f, prev)
+	if prev, ok := x.files[f]; ok && prev.root != root {
+		x.dropFileLocked(f, prev.root)
 	}
 	if _, ok := x.files[f]; !ok {
-		x.files[f] = root
+		x.fileSeq++
+		x.files[f] = fileRec{root: root, seq: x.fileSeq}
 		ri, ok := x.roots[root]
 		if !ok {
 			ri = &rootInfo{home: def}
@@ -269,11 +280,20 @@ func (x *prefixIndex) size() int {
 
 // gcLocked drops entries for removed files; a root with no remaining
 // files leaves the index (its pages are gone, there is nothing to home).
+// Victims are dropped in registration order: the per-drop bookkeeping is
+// commutative today, but sweeping a sorted snapshot keeps the index
+// byte-for-byte reproducible even if dropFileLocked ever grows
+// order-sensitive side effects (e.g. re-homing on the spot).
 func (x *prefixIndex) gcLocked() {
-	for f, root := range x.files {
+	var victims []*kvfs.File
+	for f := range x.files {
 		if f.Removed() {
-			x.dropFileLocked(f, root)
+			victims = append(victims, f)
 		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return x.files[victims[i]].seq < x.files[victims[j]].seq })
+	for _, f := range victims {
+		x.dropFileLocked(f, x.files[f].root)
 	}
 }
 

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kvfs"
+	"repro/internal/model"
+)
+
+// indexSweepState registers files under roots spread across replicas,
+// removes a subset, sweeps, and returns the surviving per-root homes —
+// the decision state later placement reads.
+func indexSweepState(t *testing.T) map[model.CtxHash]int {
+	t.Helper()
+	fs := kvfs.NewFS(kvfs.Config{
+		PageTokens:    16,
+		GPUBytes:      1 << 20,
+		HostBytes:     1 << 24,
+		BytesPerToken: 1 << 10,
+	})
+	x := newPrefixIndex()
+	var files []*kvfs.File
+	for i := 0; i < 12; i++ {
+		f := fs.CreateAnon("u")
+		files = append(files, f)
+		root := model.CtxHash(100 + i%4) // 4 families, 3 files each
+		x.observe(f, root, i%3)
+	}
+	for i, f := range files {
+		if i%2 == 0 {
+			f.Remove()
+		}
+	}
+	x.mu.Lock()
+	x.gcLocked()
+	x.mu.Unlock()
+
+	out := make(map[model.CtxHash]int)
+	x.mu.Lock()
+	for root, ri := range x.roots {
+		out[root] = ri.home
+	}
+	x.mu.Unlock()
+	return out
+}
+
+// TestPrefixIndexSweepDeterministic is the regression test for the
+// sorted files-map sweep in gcLocked: identically-built indexes must
+// agree on the surviving families and their homes on every run.
+func TestPrefixIndexSweepDeterministic(t *testing.T) {
+	first := indexSweepState(t)
+	if len(first) == 0 {
+		t.Fatal("sweep removed every family; fixture should keep survivors")
+	}
+	for run := 1; run < 20; run++ {
+		if got := indexSweepState(t); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d index state %v, first run %v", run, got, first)
+		}
+	}
+}

@@ -53,6 +53,9 @@ type MigrateConfig struct {
 	// Threshold is the engine's home-overload factor; zero means the
 	// core default.
 	Threshold float64
+	// Seed offsets the deterministic workload streams (see seedBase); 0
+	// and 1 both select the recorded baseline.
+	Seed int64
 }
 
 // DefaultMigrate returns the sweep used by symphony-bench -exp migrate.
@@ -66,6 +69,7 @@ func DefaultMigrate() MigrateConfig {
 		PrefixTokens:      512,
 		SuffixTokens:      192,
 		DecodeTokens:      8,
+		Seed:              1,
 	}
 }
 
@@ -80,6 +84,7 @@ func QuickMigrate() MigrateConfig {
 		PrefixTokens:      384,
 		SuffixTokens:      192,
 		DecodeTokens:      4,
+		Seed:              1,
 	}
 }
 
@@ -231,11 +236,11 @@ func runMigrateCell(cfg MigrateConfig, dispatch string) MigratePoint {
 		seed := k.Submit("admin", func(ctx *core.Ctx) error {
 			for i := 0; i < cfg.Families; i++ {
 				first := skewedFirstToken(cfg.Replicas, 0, 1_000_000+i*10_000)
-				if err := seedFamily(ctx, fmt.Sprintf("fam-%d", i), first, cfg.PrefixTokens, 1_000_000+i*10_000); err != nil {
+				if err := seedFamily(ctx, fmt.Sprintf("fam-%d", i), first, cfg.PrefixTokens, seedBase(cfg.Seed)+1_000_000+i*10_000); err != nil {
 					return err
 				}
 			}
-			return seedFamily(ctx, "fam-locked", lockedFirst, cfg.PrefixTokens, 7_000_000)
+			return seedFamily(ctx, "fam-locked", lockedFirst, cfg.PrefixTokens, seedBase(cfg.Seed)+7_000_000)
 		})
 		if err := seed.Wait(); err != nil {
 			noteErr(err)
@@ -293,7 +298,7 @@ func runMigrateCell(cfg MigrateConfig, dispatch string) MigratePoint {
 						if err != nil {
 							return err
 						}
-						seed := 2_000_000 + fam*100_000 + c*10_000 + r*1_000
+						seed := seedBase(cfg.Seed) + 2_000_000 + fam*100_000 + c*10_000 + r*1_000
 						if err := migratePred(ctx, fork, cfg.SuffixTokens, seed); err != nil {
 							fork.Remove()
 							return err

@@ -58,6 +58,9 @@ type PressureConfig struct {
 	// HighWater overrides the daemon's reclaim trigger fraction; zero
 	// keeps the kvd default (0.90).
 	HighWater float64
+	// Seed offsets the deterministic workload streams (see seedBase); 0
+	// and 1 both select the recorded baseline.
+	Seed int64
 }
 
 // DefaultPressure returns the sweep used by symphony-bench -exp pressure.
@@ -71,6 +74,7 @@ func DefaultPressure() PressureConfig {
 		ConvTokens:    144,
 		ScratchTokens: 48,
 		Think:         150 * time.Millisecond,
+		Seed:          1,
 	}
 }
 
@@ -85,6 +89,7 @@ func QuickPressure() PressureConfig {
 		ConvTokens:    144,
 		ScratchTokens: 48,
 		Think:         120 * time.Millisecond,
+		Seed:          1,
 	}
 }
 
@@ -205,7 +210,7 @@ func runPressureCell(cfg PressureConfig, policy string, over float64) PressurePo
 				for r := 0; r < cfg.Rounds; r++ {
 					// Grow the conversation (restores transparently if
 					// the daemon evicted it during the think window).
-					if err := pressurePred(ctx, conv, chunk, c*100000+r*1000); err != nil {
+					if err := pressurePred(ctx, conv, chunk, seedBase(cfg.Seed)+c*100000+r*1000); err != nil {
 						return err
 					}
 					// Fresh scratch the client will never touch again —
@@ -218,7 +223,7 @@ func runPressureCell(cfg PressureConfig, policy string, over float64) PressurePo
 							return err
 						}
 						scratches = append(scratches, scratch)
-						if err := pressurePred(ctx, scratch, cfg.ScratchTokens, 900000+c*10000+r*100+s); err != nil {
+						if err := pressurePred(ctx, scratch, cfg.ScratchTokens, seedBase(cfg.Seed)+900000+c*10000+r*100+s); err != nil {
 							return err
 						}
 					}

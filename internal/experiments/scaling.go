@@ -33,6 +33,9 @@ type ScalingConfig struct {
 	// PrefillTokens and DecodeTokens shape each request.
 	PrefillTokens int
 	DecodeTokens  int
+	// Seed offsets the deterministic workload streams (see seedBase); 0
+	// and 1 both select the recorded baseline.
+	Seed int64
 }
 
 // DefaultScaling returns the sweep used by symphony-bench -exp scaling.
@@ -44,6 +47,7 @@ func DefaultScaling() ScalingConfig {
 		RequestsPerClient: 4,
 		PrefillTokens:     256,
 		DecodeTokens:      24,
+		Seed:              1,
 	}
 }
 
@@ -56,6 +60,7 @@ func QuickScaling() ScalingConfig {
 		RequestsPerClient: 2,
 		PrefillTokens:     192,
 		DecodeTokens:      16,
+		Seed:              1,
 	}
 }
 
@@ -132,7 +137,7 @@ func runScalingCell(cfg ScalingConfig, replicas int) ScalingPoint {
 			clk.Go(fmt.Sprintf("client-%d", c), func() {
 				defer wg.Done()
 				for r := 0; r < cfg.RequestsPerClient; r++ {
-					prompt := syntheticPrompt(cfg.PrefillTokens/2, int(1e6)+c*1000+r)
+					prompt := syntheticPrompt(cfg.PrefillTokens/2, seedBase(cfg.Seed)+1_000_000+c*1000+r)
 					start := clk.Now()
 					p := k.Submit("scaling", func(ctx *core.Ctx) error {
 						f, err := ctx.KvAnon()

@@ -59,6 +59,9 @@ type SLOConfig struct {
 	// StarveAfter is the queue delay above which a batch call counts as
 	// starved; the acceptance bar is zero starved calls.
 	StarveAfter time.Duration
+	// Seed offsets the deterministic workload streams (see seedBase); 0
+	// and 1 both select the recorded baseline.
+	Seed int64
 }
 
 // DefaultSLO returns the sweep used by symphony-bench -exp slo.
@@ -79,6 +82,7 @@ func DefaultSLO() SLOConfig {
 		StepTokens:          512,
 		AgeAfter:            250 * time.Millisecond,
 		StarveAfter:         3 * time.Second,
+		Seed:                1,
 	}
 }
 
@@ -235,7 +239,7 @@ func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
 					return err
 				}
 				for r := 0; r < cfg.InteractiveRequests; r++ {
-					if err := sloRequest(ctx, cfg.InteractivePrefill, cfg.InteractiveDecode, c*100000+r*1000); err != nil {
+					if err := sloRequest(ctx, cfg.InteractivePrefill, cfg.InteractiveDecode, seedBase(cfg.Seed)+c*100000+r*1000); err != nil {
 						return err
 					}
 					if err := ctx.Sleep(cfg.Think); err != nil {
@@ -256,7 +260,7 @@ func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
 					return err
 				}
 				for r := 0; r < cfg.BatchRequests; r++ {
-					if err := sloRequest(ctx, cfg.BatchPrefill, cfg.BatchDecode, 5000000+c*200000+r*2000); err != nil {
+					if err := sloRequest(ctx, cfg.BatchPrefill, cfg.BatchDecode, seedBase(cfg.Seed)+5000000+c*200000+r*2000); err != nil {
 						return err
 					}
 				}

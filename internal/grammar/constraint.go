@@ -2,6 +2,7 @@ package grammar
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/token"
 )
@@ -144,12 +145,15 @@ func NewChoice(tk *token.Tokenizer, options []string) (*ChoiceConstraint, error)
 	return &ChoiceConstraint{root: root, cur: root}, nil
 }
 
-// Allowed returns the next tokens continuing any remaining option.
+// Allowed returns the next tokens continuing any remaining option, in
+// ascending token order: the decoder picks among them, so handing back
+// map iteration order would make constrained generation nondeterministic.
 func (c *ChoiceConstraint) Allowed() []token.ID {
 	out := make([]token.ID, 0, len(c.cur.children))
 	for t := range c.cur.children {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

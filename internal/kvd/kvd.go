@@ -30,6 +30,7 @@
 package kvd
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -477,8 +478,10 @@ func (d *Daemon) reclaim(needTokens int) int {
 
 // candidatesLocked snapshots the offloadable files: tracked, not
 // removed, not advisory-locked, not pinned, with GPU-resident tokens to
-// move. It also garbage-collects entries for removed files. Caller holds
-// d.mu.
+// move. It also garbage-collects entries for removed files. The snapshot
+// is sorted by tracking seq so the policy ranks an identical slice on
+// every run regardless of map iteration order (rankBy is stable, so the
+// input order is the tie-break of last resort). Caller holds d.mu.
 func (d *Daemon) candidatesLocked() ([]FileInfo, []*entry) {
 	var infos []FileInfo
 	var ents []*entry
@@ -506,6 +509,10 @@ func (d *Daemon) candidatesLocked() ([]FileInfo, []*entry) {
 		})
 		ents = append(ents, e)
 	}
+	// seq is unique per entry, so sorting the parallel slices
+	// independently keeps infos[i] and ents[i] paired.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Seq < infos[j].Seq })
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
 	return infos, ents
 }
 
@@ -583,12 +590,16 @@ func (d *Daemon) NotePark(pid int) {
 	}
 	d.mu.Lock()
 	d.preemptions++
-	var notify Notify
-	var bestSeq int64 = -1
+	var cands []*entry
 	for _, e := range d.entries {
-		if e.pid == pid && e.notify != nil && (bestSeq < 0 || e.seq < bestSeq) {
-			bestSeq, notify = e.seq, e.notify
+		if e.pid == pid && e.notify != nil {
+			cands = append(cands, e)
 		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	var notify Notify
+	if len(cands) > 0 {
+		notify = cands[0].notify
 	}
 	pol := d.policy.Name()
 	d.mu.Unlock()

@@ -66,6 +66,7 @@ type apiError struct {
 // writeError sends a typed error response.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
+	//lint:allow errortaxonomy this is the taxonomy writer itself; the status always comes from errorCode
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(apiError{Error: msg, Code: code})
 }

@@ -365,6 +365,7 @@ func (s *Server) runSync(w http.ResponseWriter, r *http.Request, script *lipscri
 		resp.Code, status = errorCode(err)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//lint:allow errortaxonomy sync responses carry the taxonomy inline (Code from errorCode) with the matching status
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(resp)
 }

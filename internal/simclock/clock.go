@@ -94,9 +94,16 @@ func (c *Clock) Now() time.Duration {
 }
 
 // Go starts fn as a new actor. It may be called from inside or outside an
-// actor; the new actor is runnable before Go returns, so the clock cannot
-// advance past the present before fn begins. The name is used only for
-// diagnostics.
+// actor; the new actor is accounted runnable before Go returns, so the
+// clock cannot advance past the present before fn begins. The name is used
+// only for diagnostics.
+//
+// fn itself starts when the actor's zero-delay spawn timer fires, which
+// serializes startup in Go-call order: the child runs after the spawning
+// actor parks, never concurrently with it. Together with the deferred
+// wakes in Event.Fire and Queue.Put this keeps at most one actor running
+// at a time, so identically-seeded simulations interleave — and therefore
+// decide — identically, regardless of OS goroutine scheduling.
 func (c *Clock) Go(name string, fn func()) {
 	c.mu.Lock()
 	if c.down {
@@ -108,9 +115,14 @@ func (c *Clock) Go(name string, fn func()) {
 	c.names[id] = name
 	c.busy++
 	c.actors++
+	ch := make(chan struct{})
+	c.nextTimerID++
+	heap.Push(&c.timers, timerEntry{at: c.now, seq: c.nextTimerID, ch: ch})
+	c.parkLocked(ch, "spawn "+name)
 	c.mu.Unlock()
 
 	go func() {
+		<-ch
 		defer func() {
 			c.mu.Lock()
 			delete(c.names, id)
@@ -174,6 +186,7 @@ func (c *Clock) Shutdown() {
 	close(c.downCh)
 	chans := make([]chan struct{}, 0, len(c.parked))
 	for ch := range c.parked {
+		//lint:allow maporder shutdown wake order is immaterial; every parked actor fails fast with ErrShutdown
 		chans = append(chans, ch)
 	}
 	// wakeLocked keeps the busy count consistent with the actor-exit path.
@@ -238,6 +251,21 @@ func (c *Clock) parkLocked(ch chan struct{}, why string) {
 	if c.busy < 0 {
 		panic("simclock: park from non-actor goroutine (busy underflow)")
 	}
+	c.maybeAdvanceLocked()
+}
+
+// wakeSoonLocked schedules a zero-delay wake for the parked actor behind
+// ch. Routing wakes through the timer heap instead of waking directly is
+// what makes the simulation deterministic: actors woken at the same
+// virtual instant (an event firing to many waiters, a batch completing)
+// run one at a time in wake order — via maybeAdvanceLocked's
+// one-timer-per-advance policy — rather than racing on the OS scheduler.
+// The caller must hold c.mu.
+func (c *Clock) wakeSoonLocked(ch chan struct{}) {
+	c.nextTimerID++
+	heap.Push(&c.timers, timerEntry{at: c.now, seq: c.nextTimerID, ch: ch})
+	// If the waker is not an actor (an HTTP goroutine, a test) every actor
+	// may already be parked, so the wake must advance the clock itself.
 	c.maybeAdvanceLocked()
 }
 

@@ -456,3 +456,78 @@ func TestSnapshotReportsParked(t *testing.T) {
 		t.Fatalf("live actors = %v, want root+waiter", snap.LiveActors)
 	}
 }
+
+// TestFireWakesInWaitOrder pins the serialized-wake guarantee: waiters
+// woken by one Fire run one at a time in Wait order, never concurrently,
+// so a fan-out wake cannot make identically-seeded runs diverge.
+func TestFireWakesInWaitOrder(t *testing.T) {
+	const n = 8
+	c := New()
+	e := c.NewEvent()
+	var (
+		mu    sync.Mutex
+		order []int
+	)
+	run(t, c, func() {
+		wg := c.NewWaitGroup()
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			c.Go("waiter", func() {
+				defer wg.Done()
+				if err := e.Wait(); err != nil {
+					t.Errorf("Wait: %v", err)
+				}
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		}
+		// Let every waiter park before firing.
+		if err := c.Sleep(time.Second); err != nil {
+			t.Fatalf("Sleep: %v", err)
+		}
+		e.Fire()
+		if err := wg.Wait(); err != nil {
+			t.Fatalf("WaitGroup.Wait: %v", err)
+		}
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("wake order %v, want waiters in Wait order", order)
+		}
+	}
+}
+
+// TestSpawnSerialized pins Go's startup ordering: children do not begin
+// until the spawning actor parks, and then start in Go-call order.
+func TestSpawnSerialized(t *testing.T) {
+	const n = 6
+	c := New()
+	var (
+		mu    sync.Mutex
+		trace []int
+	)
+	run(t, c, func() {
+		for i := 0; i < n; i++ {
+			i := i
+			c.Go("child", func() {
+				mu.Lock()
+				trace = append(trace, i)
+				mu.Unlock()
+			})
+		}
+		// The spawner is still running, so no child has started yet.
+		mu.Lock()
+		started := len(trace)
+		mu.Unlock()
+		if started != 0 {
+			t.Errorf("%d children ran before the spawner parked", started)
+		}
+	})
+	for i, got := range trace {
+		if got != i {
+			t.Fatalf("start order %v, want children in Go-call order", trace)
+		}
+	}
+}

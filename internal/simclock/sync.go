@@ -84,7 +84,9 @@ func (e *Event) WaitFor(d time.Duration) (fired bool, err error) {
 }
 
 // Fire wakes all current and future waiters. Firing more than once is a
-// no-op. Fire never blocks and may be called from any goroutine.
+// no-op. Fire never blocks and may be called from any goroutine. Waiters
+// wake one at a time in Wait order (zero-delay timers, not direct wakes),
+// so a fan-out fire cannot make the woken actors race each other.
 func (e *Event) Fire() {
 	c := e.c
 	c.mu.Lock()
@@ -94,7 +96,7 @@ func (e *Event) Fire() {
 	}
 	e.fired = true
 	for _, ch := range e.waiters {
-		c.wakeLocked(ch)
+		c.wakeSoonLocked(ch)
 	}
 	e.waiters = nil
 }
@@ -132,7 +134,7 @@ func (q *Queue[T]) Put(v T) {
 	if len(q.waiters) > 0 {
 		ch := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		c.wakeLocked(ch)
+		c.wakeSoonLocked(ch)
 	}
 }
 
@@ -150,7 +152,7 @@ func (q *Queue[T]) PushFront(v T) {
 	if len(q.waiters) > 0 {
 		ch := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		c.wakeLocked(ch)
+		c.wakeSoonLocked(ch)
 	}
 }
 
