@@ -22,8 +22,9 @@ type benchDoc struct {
 // keyFields are the point-identity fields, in key order. A point's key
 // is the concatenation of whichever of these it carries, which is unique
 // within every experiment's sweep (scaling: Replicas+Dispatcher;
-// pressure: Policy+Oversub; migrate: Dispatcher+Replicas).
-var keyFields = []string{"Dispatcher", "Policy", "Replicas", "Oversub", "Families"}
+// pressure: Policy+Oversub; migrate: Dispatcher+Replicas; restart:
+// Mode+Families).
+var keyFields = []string{"Mode", "Dispatcher", "Policy", "Replicas", "Oversub", "Families"}
 
 // pointKey renders a point's identity.
 func pointKey(p map[string]any) string {

@@ -79,6 +79,27 @@ func TestGateKeysAcrossExperiments(t *testing.T) {
 	}
 }
 
+// TestGateKeysOnMode covers restart-style points: both rows carry the
+// same Families count, so Mode must participate in point identity or the
+// two rows would collide on one key.
+func TestGateKeysOnMode(t *testing.T) {
+	base := doc("restart", []map[string]any{
+		{"Mode": "recompute", "Families": 8.0, "Throughput": 2.0},
+		{"Mode": "disk", "Families": 8.0, "Throughput": 25.0},
+	})
+	cur := doc("restart", []map[string]any{
+		{"Mode": "recompute", "Families": 8.0, "Throughput": 2.0},
+		{"Mode": "disk", "Families": 8.0, "Throughput": 10.0},
+	})
+	regs, compared := compareDocs(base, cur, 0.15)
+	if compared != 2 || len(regs) != 1 {
+		t.Fatalf("compared=%d regs=%v, want 2 compared and exactly the disk regression", compared, regs)
+	}
+	if !strings.Contains(regs[0], "Mode=disk") {
+		t.Fatalf("regression does not key on Mode: %q", regs[0])
+	}
+}
+
 // TestGateDirsEndToEnd exercises the directory walk against real files,
 // including the inflated-baseline failure path.
 func TestGateDirsEndToEnd(t *testing.T) {

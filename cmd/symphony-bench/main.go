@@ -41,16 +41,24 @@
 // 3x better than fifo at equal (±10%) aggregate token throughput with
 // zero starved batch calls.
 //
-// The seeded experiments (fig3, editor, scaling, pressure, migrate,
-// slo) accept -seed to shift their deterministic workload streams: two
-// runs with the same -seed produce byte-identical BENCH JSON, and -seed
-// 0 (the default) keeps each experiment's recorded-baseline streams.
+// The restart experiment measures warm restarts from the durable disk
+// KV tier (internal/kvstore): a warm kernel checkpoints its named
+// prefixes and crashes, then a restarted kernel serves one request per
+// prefix either by re-importing the snapshot (-kv-disk-gb sizes the
+// tier) or by recomputing every prefix from tokens. The bar is disk
+// mean TTFT at least 2x better than recompute with zero ErrNoSpace.
 //
-// The scaling, pressure, migrate, and slo experiments also write
-// machine-readable BENCH_<exp>.json artifacts into -json-dir (default
-// "."; empty disables), seeding the perf trajectory the CI bench gate
-// (cmd/benchgate) judges regressions against; see the README for the
-// schema.
+// The seeded experiments (fig3, editor, scaling, pressure, migrate,
+// slo, restart) accept -seed to shift their deterministic workload
+// streams: two runs with the same -seed produce byte-identical BENCH
+// JSON, and -seed 0 (the default) keeps each experiment's
+// recorded-baseline streams.
+//
+// The scaling, pressure, migrate, slo, and restart experiments also
+// write machine-readable BENCH_<exp>.json artifacts into -json-dir
+// (default "."; empty disables), seeding the perf trajectory the CI
+// bench gate (cmd/benchgate) judges regressions against; see the README
+// for the schema.
 package main
 
 import (
@@ -72,7 +80,7 @@ import (
 var experimentNames = []string{
 	"fig3", "toolcalls", "constrained", "speculative", "multiround",
 	"tot", "editor", "batching", "overhead", "scaling", "pressure",
-	"migrate", "slo",
+	"migrate", "slo", "restart",
 }
 
 func main() {
@@ -89,6 +97,8 @@ func main() {
 		"replica interconnect bandwidth in Gbit/s for -exp migrate (0 = netsim default)")
 	migrateThreshold := flag.Float64("migrate-threshold", 0,
 		"home-overload factor for -exp migrate (0 = core default)")
+	kvDiskGB := flag.Float64("kv-disk-gb", 0,
+		"durable disk KV tier size in GiB for -exp restart (0 = experiment default)")
 	jsonDir := flag.String("json-dir", ".",
 		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo (empty disables)")
 	seed := flag.Int64("seed", 0,
@@ -131,6 +141,7 @@ func main() {
 		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir, *seed) }},
 		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir, *seed) }},
 		{"slo", func(q bool) { runSLO(q, *jsonDir, *seed) }},
+		{"restart", func(q bool) { runRestart(q, *kvDiskGB, *jsonDir, *seed) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -315,6 +326,23 @@ func runSLO(quick bool, jsonDir string, seed int64) {
 	tab := experiments.SLOTable(pts)
 	fmt.Println(tab.String())
 	writeBench(jsonDir, "slo", cfg, pts)
+}
+
+func runRestart(quick bool, diskGB float64, jsonDir string, seed int64) {
+	cfg := experiments.DefaultRestart()
+	if quick {
+		cfg = experiments.QuickRestart()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if diskGB > 0 {
+		cfg.DiskGB = diskGB
+	}
+	pts := experiments.RunRestart(cfg)
+	tab := experiments.RestartTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "restart", cfg, pts)
 }
 
 // splitList parses a comma-separated flag value, trimming blanks.

@@ -40,6 +40,15 @@
 // appear under "kvd" in /v1/stats and offload/restore/park events stream
 // to the affected job as kv_pressure events on the v2 SSE surface.
 //
+// A durable disk KV tier sits below host memory when -kv-disk-gb is
+// set: the daemon spills cold host files to an FMC1-style snapshot
+// store once host usage crosses -kv-disk-high-water, named prefixes are
+// committed every -kv-checkpoint of virtual time, and a restarted
+// daemon re-imports them lazily (warm restart: the first pred on a
+// recovered prefix pays an NVMe load or a recompute, whichever the cost
+// model says is cheaper). Disk counters appear under "disk" in
+// /v1/stats; spill/load actions stream as kv_pressure events.
+//
 //	symphonyd -addr :8080 -speedup 1 -gpus 4 -dispatch cache-affinity -kv-policy cost-aware
 //	curl -s -X POST localhost:8080/v2/programs -d @examples/wire/stream.json
 //	curl -sN localhost:8080/v2/programs/job-000001/events
@@ -79,6 +88,12 @@ func main() {
 		"KV memory daemon eviction policy ("+strings.Join(kvd.PolicyNames(), "|")+"|none)")
 	kvHighWater := flag.Float64("kv-high-water", 0.90,
 		"GPU KV usage fraction that triggers daemon reclaim")
+	kvDiskGB := flag.Float64("kv-disk-gb", 0,
+		"durable disk KV tier size in GiB (0 disables; enables warm restarts)")
+	kvDiskHighWater := flag.Float64("kv-disk-high-water", 0.85,
+		"host KV usage fraction that triggers spilling cold files to disk")
+	kvCheckpoint := flag.Duration("kv-checkpoint", time.Minute,
+		"interval between KV snapshot commits when the disk tier is enabled (0 disables)")
 	prioPolicy := flag.String("priority-policy", "lanes",
 		"GPU iteration ordering policy ("+strings.Join(sched.PriorityPolicyNames(), "|")+")")
 	stepQuantum := flag.Int("step-quantum", sched.DefaultQuantum,
@@ -138,7 +153,35 @@ func main() {
 		Interconnect:     netsim.InterconnectFromGbps(clk, *interconnectGbps),
 		MigrateThreshold: *migrateThreshold,
 		KV:               kvCfg,
+		Disk: core.DiskConfig{
+			Bytes:     int64(*kvDiskGB * float64(1<<30)),
+			HighWater: *kvDiskHighWater,
+		},
 	})
+	if kernel.DiskTier() != nil {
+		// Warm restart: re-import whatever the previous incarnation
+		// committed, then keep the snapshot store fresh with periodic
+		// commits. Runs as a clock actor because snapshot I/O bills
+		// virtual disk time.
+		interval := *kvCheckpoint
+		clk.Go("kv-checkpoint", func() {
+			files, tokens, err := kernel.RecoverKV()
+			if err != nil {
+				log.Printf("kv recover: %v", err)
+			}
+			if files > 0 {
+				log.Printf("kv recover: %d prefixes (%d tokens) re-imported from disk", files, tokens)
+			}
+			for interval > 0 {
+				if err := clk.Sleep(interval); err != nil {
+					return
+				}
+				if _, err := kernel.CheckpointKV(); err != nil {
+					log.Printf("kv checkpoint: %v", err)
+				}
+			}
+		})
+	}
 	kernel.RegisterTool("search", core.Tool{
 		Latency: 150 * time.Millisecond,
 		Fn:      func(args string) (string, error) { return "results for " + args, nil },

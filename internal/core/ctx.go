@@ -152,10 +152,10 @@ func (c *Ctx) KvFork(f *kvfs.File) (*kvfs.File, error) {
 	k.kvCalls.Inc()
 	k.kvd.Pin(f)
 	defer k.kvd.Unpin(f)
-	if k.kvd.Enabled() {
-		if err := c.ensureResident(f, k.models[k.defMod].Config().Cost); err != nil {
-			return nil, err
-		}
+	// Forking needs the parent on the GPU; there is no pred to fold a
+	// recompute into, so disk pages are loaded, never recomputed.
+	if _, err := c.ensureResident(f, k.models[k.defMod].Config().Cost, false); err != nil {
+		return nil, err
 	}
 	k.kvd.Touch(f)
 	child, err := f.Fork(c.p.user)
@@ -340,13 +340,19 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 	// reads these pages — and released after the scheduler returns; on
 	// failure it is released so self-preemption can swap the file out.
 	var tails []model.CtxHash
+	// extra counts disk-resident prefix tokens ensureResident chose to
+	// recompute rather than load: they ride in this call's batch entry so
+	// the GPU step pays their prefill (see migrate.go's recompute path).
+	extra := 0
 	predAlloc := func() error {
 		k.kvd.Pin(f)
 		k.kvd.MaybeReclaim()
-		if err := c.ensureResident(f, m.Config().Cost); err != nil {
+		n, err := c.ensureResident(f, m.Config().Cost, true)
+		if err != nil {
 			k.kvd.Unpin(f)
 			return err
 		}
+		extra += n
 		// The KV entries and their context hashes are fixed at
 		// submission; the GPU step only determines *when* the results
 		// exist.
@@ -399,7 +405,7 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 	// GPU iteration loop.
 	call := sched.Call{
 		Model:    resolvedName(k, modelName),
-		Tokens:   len(toks),
+		Tokens:   len(toks) + extra,
 		Affinity: uint64(f.Root()),
 		Priority: c.p.prio,
 	}
@@ -425,12 +431,23 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 			// GPU now and no later path would bill them. Tokens still on
 			// the host are the next pred's problem (ensureResident).
 			n, _ := f.Restore()
-			if n == 0 {
-				return 0
+			var d time.Duration
+			if n > 0 {
+				d = cost.TransferTime(n)
+				k.restoreTime.Add(int64(d))
+				k.kvd.NoteRestore(f, n, d)
 			}
-			d := cost.TransferTime(n)
-			k.restoreTime.Add(int64(d))
-			k.kvd.NoteRestore(f, n, d)
+			if !f.GPUResident() {
+				// The daemon spilled part of the file down to disk while
+				// this call sat preempted: load it back at NVMe+PCIe cost.
+				// No recompute option here — the call's batch entry is
+				// already sized.
+				if moved, _ := f.PromoteDisk(); moved > 0 {
+					ld := cost.DiskReadTime(cost.KVBytes(moved)) + cost.TransferTime(moved)
+					k.kvd.NoteDiskLoad(f, moved, ld)
+					d += ld
+				}
+			}
 			return d
 		}
 	}
@@ -505,16 +522,22 @@ func (c *Ctx) maybePark() {
 	}
 }
 
-// ensureResident restores f to the GPU tier if a tool wait or the
-// memory daemon offloaded it, charging the PCIe transfer time to the
-// calling thread and crediting the daemon's restore ledger.
-func (c *Ctx) ensureResident(f *kvfs.File, cost model.CostModel) error {
+// ensureResident brings f fully back to the GPU tier if a tool wait,
+// the memory daemon, or a restart left pages elsewhere. Host pages are
+// restored at PCIe cost, charged to the calling thread and credited to
+// the daemon's restore ledger. Disk pages are promoted either by loading
+// their tensors from the snapshot store (NVMe read + PCIe, slept here)
+// or — when allowRecompute is set and prefill is estimated cheaper — by
+// recomputing them inside the caller's own pred: the returned extra is
+// the token count the caller must add to its batch call so the GPU step
+// pays the prefill.
+func (c *Ctx) ensureResident(f *kvfs.File, cost model.CostModel, allowRecompute bool) (extra int, err error) {
 	k := c.p.k
 	if f.GPUResident() {
-		return nil
+		return 0, nil
 	}
 	rstart := k.clk.Now()
-	_, host := f.ResidentTokens()
+	_, host, disk := f.ResidentTokens()
 	restored := 0
 	rerr := k.withReclaim(host, func() error {
 		n, err := f.Restore()
@@ -526,14 +549,46 @@ func (c *Ctx) ensureResident(f *kvfs.File, cost model.CostModel) error {
 		k.restoreTime.Add(int64(d))
 		k.kvd.NoteRestore(f, restored, d)
 		if err := k.clk.Sleep(d); err != nil {
-			return err
+			return 0, err
 		}
 		k.tracer.Span(trace.Event{
 			At: rstart, Dur: k.clk.Now() - rstart, PID: c.p.pid, TID: c.tid,
 			Kind: trace.KindRestore, Detail: fmt.Sprintf("%d tokens", restored),
 		})
 	}
-	return rerr
+	if rerr != nil || disk == 0 {
+		return 0, rerr
+	}
+
+	// Disk pages: the same migrate-vs-recompute economics as the
+	// cross-replica engine (migrate.go), one level down. The durable copy
+	// stays behind either way; only the billing differs.
+	dstart := k.clk.Now()
+	loadCost := cost.DiskReadTime(cost.KVBytes(disk)) + cost.TransferTime(disk)
+	recompute := allowRecompute && time.Duration(disk)*cost.PerToken < loadCost
+	promoted := 0
+	perr := k.withReclaim(disk, func() error {
+		n, err := f.PromoteDisk()
+		promoted += n
+		return err
+	})
+	if promoted > 0 {
+		if recompute {
+			k.kvd.NoteDiskRecompute(f, promoted)
+			extra = promoted
+		} else {
+			d := cost.DiskReadTime(cost.KVBytes(promoted)) + cost.TransferTime(promoted)
+			k.kvd.NoteDiskLoad(f, promoted, d)
+			if err := k.clk.Sleep(d); err != nil {
+				return 0, err
+			}
+		}
+		k.tracer.Span(trace.Event{
+			At: dstart, Dur: k.clk.Now() - dstart, PID: c.p.pid, TID: c.tid,
+			Kind: trace.KindRestore, Detail: fmt.Sprintf("%d tokens (disk, recompute=%t)", promoted, recompute),
+		})
+	}
+	return extra, perr
 }
 
 // --- threads (§4.3) ---

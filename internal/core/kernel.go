@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/kvd"
 	"repro/internal/kvfs"
+	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/netsim"
@@ -79,6 +80,9 @@ type Config struct {
 	// preserving the mechanism-only behaviour where programs see
 	// ErrNoSpace and carry their own retry policy.
 	KV kvd.Config
+	// Disk configures the durable disk KV tier (internal/kvstore). The
+	// zero value disables it, leaving the two-tier GPU/host hierarchy.
+	Disk DiskConfig
 	// Policy is the batch scheduler policy; nil means sched.DefaultPoisson.
 	Policy sched.Policy
 	// PriorityPolicy orders each GPU iteration of the batch scheduler and
@@ -119,6 +123,25 @@ type Config struct {
 	UserQuotas map[string]int64
 }
 
+// DiskConfig configures the kernel's durable disk KV tier: a snapshot
+// store of named KV prefixes that survives a (simulated) server restart
+// and is re-prefilled from lazily, plus the third level the KV memory
+// daemon demotes cold host pages to.
+type DiskConfig struct {
+	// Bytes bounds the disk tier; 0 disables it entirely.
+	Bytes int64
+	// HighWater / LowWater are the *host*-tier usage fractions that
+	// start and stop host→disk spilling (defaults 0.85 / 0.60; see
+	// kvd.Config).
+	HighWater float64
+	LowWater  float64
+	// FS is the backing virtual file system. Nil means a fresh
+	// kvstore.SimFS billed by the default model's cost model; restart
+	// experiments pass one in so durable state carries across kernels
+	// (the kernel re-binds it to its own clock).
+	FS kvstore.VFS
+}
+
 // Kernel is a Symphony instance.
 type Kernel struct {
 	clk    *simclock.Clock
@@ -127,7 +150,8 @@ type Kernel struct {
 	fs     *kvfs.FS
 	sch    *sched.Scheduler
 	kvd    *kvd.Daemon
-	mig    *migrator // nil without a migration-aware dispatcher
+	disk   *kvfs.DiskTier // nil without a disk tier
+	mig    *migrator      // nil without a migration-aware dispatcher
 	tok    *token.Tokenizer
 
 	offloadThreshold time.Duration
@@ -183,6 +207,11 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		fsCfg = kvfs.DefaultConfig()
 		fsCfg.BytesPerToken = cfg.Models[def].Config().Cost.KVBytesPerToken
 	}
+	if cfg.Disk.Bytes > 0 {
+		fsCfg.DiskBytes = cfg.Disk.Bytes
+		cfg.KV.DiskHighWater = cfg.Disk.HighWater
+		cfg.KV.DiskLowWater = cfg.Disk.LowWater
+	}
 	costs := make(map[string]model.CostModel, len(cfg.Models))
 	for name, m := range cfg.Models {
 		costs[name] = m.Config().Cost
@@ -230,6 +259,18 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 	}
 	k.spaceEv = clk.NewEvent()
 	k.fs.SetReleaseHook(k.kvReleased)
+	if cfg.Disk.Bytes > 0 {
+		vfs := cfg.Disk.FS
+		if vfs == nil {
+			vfs = kvstore.NewSimFS(clk, costs[def])
+		} else if b, ok := vfs.(interface{ Bind(*simclock.Clock) }); ok {
+			// A VFS handed across restarts was billed against the previous
+			// kernel's clock; re-attach it to this one.
+			b.Bind(clk)
+		}
+		k.disk = kvfs.NewDiskTier(fs, kvstore.NewStore(vfs))
+		daemon.AttachDisk(k.disk)
+	}
 	if _, ok := cfg.Dispatcher.(*sched.CacheAffinityMigrate); ok {
 		ic := cfg.Interconnect
 		if ic == nil {
@@ -290,6 +331,71 @@ func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
 // KVD returns the KV memory daemon, or nil when disabled. The nil
 // daemon's methods are safe no-ops.
 func (k *Kernel) KVD() *kvd.Daemon { return k.kvd }
+
+// DiskTier returns the durable disk KV tier, or nil when disabled.
+func (k *Kernel) DiskTier() *kvfs.DiskTier { return k.disk }
+
+// RecoverKV loads the newest durable snapshot generation from the disk
+// tier and re-imports its named prefixes as disk-resident KV files: a
+// warm restart. Each file is invisible to the GPU until a program opens
+// it and a pred promotes it — paying an NVMe re-prefill or a recompute,
+// whichever the cost model says is cheaper. Entries that no longer fit
+// the disk tier are filtered on the snapshot index alone, without
+// reading their payloads. Must run in a clock-actor context: snapshot
+// reads bill virtual disk time. A corruption fallback (an older
+// generation loaded, or none) is reported through err with the imported
+// files still valid.
+func (k *Kernel) RecoverKV() (files, tokens int, err error) {
+	if k.disk == nil {
+		return 0, 0, nil
+	}
+	pageTokens := k.fs.Config().PageTokens
+	budget := k.fs.Stats().DiskPageCap - k.fs.Stats().DiskPages
+	entries, rerr := k.disk.Store().Recover(func(rec kvstore.IndexRecord) bool {
+		need := (int(rec.Tokens) + pageTokens - 1) / pageTokens
+		if need > budget {
+			return false
+		}
+		budget -= need
+		return true
+	})
+	for _, e := range entries {
+		f, ierr := k.disk.Import(e)
+		if ierr != nil {
+			// ErrExist (an earlier boot stage created the path) or a full
+			// disk; the snapshot entry stays for the next commit to GC.
+			continue
+		}
+		files++
+		tokens += f.Len()
+	}
+	return files, tokens, rerr
+}
+
+// CheckpointKV writes every named KV file through the disk tier and
+// commits a new snapshot generation, making the current named prefixes
+// restart-durable. Files that no longer fit the disk tier are skipped
+// (best effort), not fatal. Must run in a clock-actor context: the
+// commit bills virtual disk write time to the caller.
+func (k *Kernel) CheckpointKV() (files int, err error) {
+	if k.disk == nil {
+		return 0, nil
+	}
+	for _, path := range k.fs.List("") {
+		f, oerr := k.fs.Open(path, kvfs.Admin, false)
+		if oerr != nil {
+			continue // removed since List
+		}
+		if perr := k.disk.Put(f); perr != nil {
+			if errors.Is(perr, kvfs.ErrNoDisk) || errors.Is(perr, kvfs.ErrRemoved) {
+				continue
+			}
+			return files, perr
+		}
+		files++
+	}
+	return files, k.disk.Commit()
+}
 
 // reclaimAttempts bounds the ErrNoSpace reclaim-retry loop. It is kept
 // short deliberately: withReclaim runs with the caller's file pinned, so

@@ -30,7 +30,7 @@ func offloadDecisions(t *testing.T) []bool {
 	}
 	out := make([]bool, len(files))
 	for i, f := range files {
-		gpu, _ := f.ResidentTokens()
+		gpu, _, _ := f.ResidentTokens()
 		out[i] = gpu == 0
 	}
 	return out

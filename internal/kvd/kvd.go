@@ -56,6 +56,13 @@ type Config struct {
 	// allocation (default 0.95). The gate itself lives in internal/sched
 	// (Scheduler.Admit); the kernel wires it to Daemon.Pressure.
 	AdmitHighWater float64
+	// DiskHighWater is the *host* page usage fraction that triggers
+	// spilling cold host-resident files down to the disk tier (default
+	// 0.85). Spilling needs a disk tier: it is inert until AttachDisk.
+	DiskHighWater float64
+	// DiskLowWater is the host usage fraction spilling drives down to
+	// (default 0.60).
+	DiskLowWater float64
 }
 
 // Enabled reports whether the configuration selects an active daemon.
@@ -75,6 +82,15 @@ func (c Config) withDefaults() Config {
 	if c.AdmitHighWater <= 0 || c.AdmitHighWater > 1 {
 		c.AdmitHighWater = 0.95
 	}
+	if c.DiskHighWater <= 0 || c.DiskHighWater > 1 {
+		c.DiskHighWater = 0.85
+	}
+	if c.DiskLowWater <= 0 || c.DiskLowWater >= c.DiskHighWater {
+		c.DiskLowWater = 0.60
+		if c.DiskLowWater >= c.DiskHighWater {
+			c.DiskLowWater = c.DiskHighWater / 2
+		}
+	}
 	return c
 }
 
@@ -82,7 +98,8 @@ func (c Config) withDefaults() Config {
 // owning process through the notify callback registered at Track time
 // (the kernel republishes it as a kv_pressure process event).
 type Event struct {
-	// Phase is "offload", "restore", or "park".
+	// Phase is "offload", "restore", "spill" (host→disk demotion),
+	// "load" (disk→GPU re-prefill), or "park".
 	Phase string
 	// Tokens is the number of KV tokens moved (zero for park).
 	Tokens int
@@ -135,6 +152,22 @@ type Stats struct {
 	Migrations     int64
 	MigratedTokens int64
 	MigratedCost   time.Duration
+	// Spills counts files demoted host→disk; SpilledTokens the KV tokens
+	// moved. Spills are free of tensor-transfer time by design: the
+	// snapshot store writes only token metadata, and the write is billed
+	// when the store commits.
+	Spills        int64
+	SpilledTokens int64
+	// DiskLoads / DiskLoadedTokens / DiskLoadCost record disk→GPU
+	// re-prefills from the snapshot store and the NVMe+PCIe time charged
+	// for them; DiskRecomputes / DiskRecomputedTokens count the times the
+	// kernel instead chose to recompute a disk-resident prefix because
+	// prefill was estimated cheaper than the load.
+	DiskLoads            int64
+	DiskLoadedTokens     int64
+	DiskLoadCost         time.Duration
+	DiskRecomputes       int64
+	DiskRecomputedTokens int64
 }
 
 type entry struct {
@@ -163,6 +196,7 @@ type Daemon struct {
 	cfg    Config
 
 	mu      sync.Mutex
+	disk    *kvfs.DiskTier // nil until AttachDisk
 	seq     int64
 	entries map[*kvfs.File]*entry
 	pidLast map[int]time.Duration // latest access per live process
@@ -181,6 +215,13 @@ type Daemon struct {
 	migrations      int64
 	migratedTokens  int64
 	migratedCost    time.Duration
+	spills          int64
+	spilledTokens   int64
+	diskLoads       int64
+	diskLoadedTok   int64
+	diskLoadCost    time.Duration
+	diskRecomputes  int64
+	diskRecompTok   int64
 }
 
 // New assembles a daemon over fs, costing restores and recomputes with
@@ -222,6 +263,66 @@ func (d *Daemon) Config() Config {
 		return Config{}
 	}
 	return d.cfg
+}
+
+// AttachDisk gives the daemon a disk tier to demote into, enabling the
+// host-watermark spill path. Call once at kernel assembly, before any
+// traffic.
+func (d *Daemon) AttachDisk(dt *kvfs.DiskTier) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.disk = dt
+}
+
+// DiskLoadCost estimates the virtual time to re-prefill tokens of KV
+// from the snapshot store: an NVMe read of the tensor bytes plus the
+// PCIe transfer onto the GPU. The kernel weighs it against recompute
+// when a pred touches a disk-resident file.
+func (d *Daemon) DiskLoadCost(tokens int) time.Duration {
+	if d == nil {
+		return 0
+	}
+	return d.cost.DiskReadTime(d.cost.KVBytes(tokens)) + d.cost.TransferTime(tokens)
+}
+
+// NoteDiskLoad attributes a disk→GPU re-prefill performed by the kernel
+// to the daemon ledger and notifies the owning process.
+func (d *Daemon) NoteDiskLoad(f *kvfs.File, tokens int, cost time.Duration) {
+	if d == nil || tokens <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.diskLoads++
+	d.diskLoadedTok += int64(tokens)
+	d.diskLoadCost += cost
+	var notify Notify
+	if e, ok := d.entries[f]; ok {
+		e.offloadReason = ""
+		notify = e.notify
+	}
+	pol := d.policy.Name()
+	d.mu.Unlock()
+	if notify != nil {
+		notify(Event{Phase: "load", Tokens: tokens, Policy: pol})
+	}
+}
+
+// NoteDiskRecompute records that the kernel chose to recompute a
+// disk-resident prefix (prefill estimated cheaper than the NVMe load).
+func (d *Daemon) NoteDiskRecompute(f *kvfs.File, tokens int) {
+	if d == nil || tokens <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.diskRecomputes++
+	d.diskRecompTok += int64(tokens)
+	if e, ok := d.entries[f]; ok {
+		e.offloadReason = ""
+	}
 }
 
 // Track places a process-private file under daemon management. Files the
@@ -416,7 +517,9 @@ func (d *Daemon) MaybeReclaim() int {
 		return 0
 	}
 	target := st.GPUPages - int(d.cfg.LowWater*float64(st.GPUPageCap))
-	return d.reclaim(target * st.PageTokens)
+	freed := d.reclaim(target * st.PageTokens)
+	d.maybeSpillHost()
+	return freed
 }
 
 // Reclaim frees at least needTokens of GPU KV space if it can, on top of
@@ -432,7 +535,9 @@ func (d *Daemon) Reclaim(needTokens int) int {
 			needTokens = over * st.PageTokens
 		}
 	}
-	return d.reclaim(needTokens)
+	freed := d.reclaim(needTokens)
+	d.maybeSpillHost()
+	return freed
 }
 
 // reclaim offloads candidates in policy order until freed >= needTokens
@@ -493,7 +598,7 @@ func (d *Daemon) candidatesLocked() ([]FileInfo, []*entry) {
 		if e.pins > 0 || f.LockedBy() != "" {
 			continue
 		}
-		gpu, _ := f.ResidentTokens()
+		gpu, _, _ := f.ResidentTokens()
 		if gpu == 0 {
 			continue
 		}
@@ -511,6 +616,112 @@ func (d *Daemon) candidatesLocked() ([]FileInfo, []*entry) {
 	}
 	// seq is unique per entry, so sorting the parallel slices
 	// independently keeps infos[i] and ents[i] paired.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Seq < infos[j].Seq })
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+	return infos, ents
+}
+
+// maybeSpillHost checks the host-tier watermark and, when crossed and a
+// disk tier is attached, spills cold host-resident files down to disk
+// until host usage falls to DiskLowWater. GPU→host offloads are what
+// grow the host tier, so reclaim and preemption paths call this right
+// after them: demotion cascades one level at a time, cost-aware because
+// the same policy that picked the coldest GPU files picks the coldest
+// host files.
+func (d *Daemon) maybeSpillHost() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	dt := d.disk
+	d.mu.Unlock()
+	if dt == nil {
+		return 0
+	}
+	st := d.fs.Stats()
+	if st.HostPageCap <= 0 || float64(st.HostPages) < d.cfg.DiskHighWater*float64(st.HostPageCap) {
+		return 0
+	}
+	target := st.HostPages - int(d.cfg.DiskLowWater*float64(st.HostPageCap))
+	return d.spill(target * st.PageTokens)
+}
+
+// spill demotes host-resident candidates in policy order until freed >=
+// needTokens or candidates run out, then fires the owner notifications.
+// Spilling is metadata-only (the store write is billed at the next
+// commit), so it is safe on any allocation path.
+func (d *Daemon) spill(needTokens int) int {
+	if needTokens <= 0 {
+		return 0
+	}
+	now := d.clk.Now()
+	d.mu.Lock()
+	if d.disk == nil {
+		d.mu.Unlock()
+		return 0
+	}
+	cands, ents := d.spillCandidatesLocked()
+	order := d.policy.Rank(now, cands)
+	freed := 0
+	pol := d.policy.Name()
+	var fired []func()
+	for _, i := range order {
+		if freed >= needTokens {
+			break
+		}
+		e := ents[i]
+		n, err := d.disk.Spill(e.f)
+		if err != nil || n == 0 {
+			continue // ErrNoDisk or nothing demotable: try the next one
+		}
+		freed += n
+		d.spills++
+		d.spilledTokens += int64(n)
+		if e.notify != nil {
+			notify, tokens := e.notify, n
+			fired = append(fired, func() { notify(Event{Phase: "spill", Tokens: tokens, Policy: pol}) })
+		}
+	}
+	d.mu.Unlock()
+	for _, fn := range fired {
+		fn()
+	}
+	return freed
+}
+
+// spillCandidatesLocked snapshots the host-resident files eligible for
+// demotion to disk, seq-sorted like candidatesLocked. Tokens counts the
+// host tier only, and the cost estimates describe the disk round trip —
+// what it would take to bring the file back (NVMe read + PCIe) versus
+// recomputing it — so cost-aware policies weigh the deeper demotion
+// correctly. Caller holds d.mu.
+func (d *Daemon) spillCandidatesLocked() ([]FileInfo, []*entry) {
+	var infos []FileInfo
+	var ents []*entry
+	for f, e := range d.entries {
+		if f.Removed() {
+			delete(d.entries, f)
+			continue
+		}
+		if e.pins > 0 || f.LockedBy() != "" {
+			continue
+		}
+		_, host, _ := f.ResidentTokens()
+		if host == 0 {
+			continue
+		}
+		infos = append(infos, FileInfo{
+			File:          f,
+			Seq:           e.seq,
+			PID:           e.pid,
+			LastAccess:    e.lastAccess,
+			Accesses:      e.accesses,
+			Tokens:        host,
+			RestoreCost:   d.cost.DiskReadTime(d.cost.KVBytes(host)) + d.cost.TransferTime(host),
+			RecomputeCost: d.cost.KernelOverhead + d.cost.PerSequence + time.Duration(f.Len())*d.cost.PerToken,
+		})
+		ents = append(ents, e)
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Seq < infos[j].Seq })
 	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
 	return infos, ents
@@ -544,6 +755,9 @@ func (d *Daemon) Preempt(f *kvfs.File) int {
 	d.mu.Unlock()
 	if notify != nil {
 		notify(Event{Phase: "offload", Tokens: n, Policy: pol})
+	}
+	if n > 0 {
+		d.maybeSpillHost()
 	}
 	return n
 }
@@ -638,23 +852,30 @@ func (d *Daemon) Stats() Stats {
 	defer d.mu.Unlock()
 	d.gcPidsLocked() // Tracked counts live files, not removed ones
 	return Stats{
-		Policy:             d.policy.Name(),
-		HighWater:          d.cfg.HighWater,
-		LowWater:           d.cfg.LowWater,
-		Pressure:           pressure,
-		Tracked:            len(d.entries),
-		Reclaims:           d.reclaims,
-		Offloads:           d.offloads,
-		OffloadedTokens:    d.offloadedTokens,
-		Restores:           d.restores,
-		RestoredTokens:     d.restoredTokens,
-		RestoredCost:       d.restoredCost,
-		SwapRestores:       d.swapRestores,
-		SwapRestoredTokens: d.swapRestoredTok,
-		SwapRestoredCost:   d.swapRestoredC,
-		Preemptions:        d.preemptions,
-		Migrations:         d.migrations,
-		MigratedTokens:     d.migratedTokens,
-		MigratedCost:       d.migratedCost,
+		Policy:               d.policy.Name(),
+		HighWater:            d.cfg.HighWater,
+		LowWater:             d.cfg.LowWater,
+		Pressure:             pressure,
+		Tracked:              len(d.entries),
+		Reclaims:             d.reclaims,
+		Offloads:             d.offloads,
+		OffloadedTokens:      d.offloadedTokens,
+		Restores:             d.restores,
+		RestoredTokens:       d.restoredTokens,
+		RestoredCost:         d.restoredCost,
+		SwapRestores:         d.swapRestores,
+		SwapRestoredTokens:   d.swapRestoredTok,
+		SwapRestoredCost:     d.swapRestoredC,
+		Preemptions:          d.preemptions,
+		Migrations:           d.migrations,
+		MigratedTokens:       d.migratedTokens,
+		MigratedCost:         d.migratedCost,
+		Spills:               d.spills,
+		SpilledTokens:        d.spilledTokens,
+		DiskLoads:            d.diskLoads,
+		DiskLoadedTokens:     d.diskLoadedTok,
+		DiskLoadCost:         d.diskLoadCost,
+		DiskRecomputes:       d.diskRecomputes,
+		DiskRecomputedTokens: d.diskRecompTok,
 	}
 }

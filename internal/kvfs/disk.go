@@ -1,0 +1,249 @@
+package kvfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/kvstore"
+)
+
+// DiskTier binds an FS to a kvstore.Store, forming the durable third
+// memory level below GPU and host (see Tier). It owns the translation
+// between the two accounting worlds:
+//
+//   - The FS counts disk *pages* against Config.DiskBytes. One disk page
+//     is reserved per page of every file written to the store, and the
+//     reservation belongs to the file's store record — not to the
+//     in-memory page structs. A page demoted to the Disk tier and later
+//     promoted back to the GPU keeps its durable copy (and reservation)
+//     behind; only Forget, which drops the record, releases it.
+//   - The Store holds token-level snapshot entries and publishes them as
+//     FMC1 generations on Commit.
+//
+// Methods that only mutate metadata (Put, Spill, Forget, Import) never
+// block on the virtual clock and may be called from any goroutine, e.g.
+// under kvd's eviction path. Commit writes a snapshot generation and
+// bills the calling actor virtual disk time, so it must run in a
+// clock-actor context.
+type DiskTier struct {
+	fs    *FS
+	store *kvstore.Store
+
+	mu   sync.Mutex
+	next int64 // monotonic rec order, for deterministic GC sweeps
+	recs map[*File]*diskRec
+}
+
+// diskRec tracks one file's footprint in the snapshot store.
+type diskRec struct {
+	key   string // store key: path for named files, synthetic for anon
+	pages int    // disk pages reserved on behalf of this file
+	order int64
+}
+
+// NewDiskTier returns a disk tier spilling into store and accounting
+// against fs's DiskBytes.
+func NewDiskTier(fs *FS, store *kvstore.Store) *DiskTier {
+	return &DiskTier{fs: fs, store: store, recs: make(map[*File]*diskRec)}
+}
+
+// Store exposes the underlying snapshot store (for recovery and stats).
+func (dt *DiskTier) Store() *kvstore.Store { return dt.store }
+
+// Pages reports the disk pages currently reserved for f, or 0 if the
+// file has no store record.
+func (dt *DiskTier) Pages(f *File) int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if r := dt.recs[f]; r != nil {
+		return r.pages
+	}
+	return 0
+}
+
+// Put writes f's current entries to the snapshot store, replacing any
+// previous record for the file and adjusting the disk reservation to the
+// file's page count. The file's live pages are not touched — Put alone
+// is a checkpoint; Spill also demotes host pages. Durable at the next
+// Commit.
+func (dt *DiskTier) Put(f *File) error {
+	if f.fs != dt.fs {
+		return fmt.Errorf("kvfs: disk put across file systems")
+	}
+	if f.Removed() {
+		return ErrRemoved
+	}
+	entries := f.Entries()
+	p := dt.fs.cfg.PageTokens
+	pages := (len(entries) + p - 1) / p
+	recs := make([]kvstore.Rec, len(entries))
+	for i, e := range entries {
+		recs[i] = kvstore.Rec{Tok: e.Tok, Pos: e.Pos, KV: e.KV}
+	}
+	e := kvstore.SnapshotEntry{
+		Root:   f.Root(),
+		Path:   f.Path(),
+		Owner:  f.Owner(),
+		Mode:   uint8(f.Mode()),
+		Approx: f.Approx(),
+		Recs:   recs,
+	}
+
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	old := dt.recs[f]
+	oldPages := 0
+	if old != nil {
+		oldPages = old.pages
+	}
+	if delta := pages - oldPages; delta > 0 {
+		if err := dt.fs.reserveDisk(delta); err != nil {
+			return err
+		}
+	} else if oldPages > pages {
+		dt.fs.releaseDisk(oldPages - pages)
+	}
+	k := dt.store.Put(e)
+	if old != nil && old.key != k {
+		// The file was renamed (Link) or is anonymous: its previous store
+		// record sits under a different key and is stale now.
+		dt.store.Drop(old.key)
+	}
+	dt.next++
+	dt.recs[f] = &diskRec{key: k, pages: pages, order: dt.next}
+	return nil
+}
+
+// Spill checkpoints f to the store and demotes its exclusively owned
+// host pages to the disk tier, returning the tokens demoted. This is the
+// host→disk leg of cost-aware demotion: host space is released
+// immediately; durability arrives at the next Commit.
+func (dt *DiskTier) Spill(f *File) (tokens int, err error) {
+	if err := dt.Put(f); err != nil {
+		return 0, err
+	}
+	return f.DemoteHostPages(), nil
+}
+
+// Forget drops f's store record and releases its disk reservation, e.g.
+// when the file is removed. Durable at the next Commit.
+func (dt *DiskTier) Forget(f *File) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.forgetLocked(f)
+}
+
+func (dt *DiskTier) forgetLocked(f *File) {
+	r := dt.recs[f]
+	if r == nil {
+		return
+	}
+	dt.store.Drop(r.key)
+	dt.fs.releaseDisk(r.pages)
+	delete(dt.recs, f)
+}
+
+// Commit garbage-collects records of removed files and publishes the
+// store's entry set as a new snapshot generation. Must run in a
+// clock-actor context: the snapshot write bills virtual disk time.
+func (dt *DiskTier) Commit() error {
+	dt.mu.Lock()
+	var dead []*File
+	for f := range dt.recs {
+		if f.Removed() {
+			dead = append(dead, f)
+		}
+	}
+	// Deterministic sweep order (map iteration order is not).
+	sort.Slice(dead, func(i, j int) bool {
+		return dt.recs[dead[i]].order < dt.recs[dead[j]].order
+	})
+	for _, f := range dead {
+		dt.forgetLocked(f)
+	}
+	dt.mu.Unlock()
+	return dt.store.Commit()
+}
+
+// Import materializes a recovered snapshot entry as a named file whose
+// pages all live on the Disk tier, reserving its disk footprint and
+// registering the store record with the tier. The returned file is not
+// GPU-resident: a program touches it back to life through the usual
+// promote-vs-recompute path. Only named entries are importable —
+// anonymous spills belong to processes that did not survive the restart.
+func (dt *DiskTier) Import(e kvstore.SnapshotEntry) (*File, error) {
+	if e.Path == "" {
+		return nil, fmt.Errorf("kvfs: import unnamed snapshot entry: %w", ErrNotExist)
+	}
+	fs := dt.fs
+	p := fs.cfg.PageTokens
+	pages := (len(e.Recs) + p - 1) / p
+
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if err := fs.reserveDisk(pages); err != nil {
+		return nil, err
+	}
+
+	fs.mu.Lock()
+	if _, ok := fs.byPath[e.Path]; ok {
+		fs.mu.Unlock()
+		fs.releaseDisk(pages)
+		return nil, fmt.Errorf("kvfs: import %s: %w", e.Path, ErrExist)
+	}
+	f := fs.newFileLocked(e.Owner, Mode(e.Mode))
+	f.path = e.Path
+	fs.byPath[e.Path] = f
+	for i := 0; i < len(e.Recs); i += p {
+		end := i + p
+		if end > len(e.Recs) {
+			end = len(e.Recs)
+		}
+		pg := &page{entries: make([]Entry, 0, p), ref: 1, tier: Disk}
+		for _, r := range e.Recs[i:end] {
+			pg.entries = append(pg.entries, Entry{Tok: r.Tok, Pos: r.Pos, KV: r.KV})
+		}
+		f.pages = append(f.pages, pg)
+	}
+	f.length = len(e.Recs)
+	f.offGPU = len(f.pages)
+	f.approx = e.Approx
+	switch {
+	case f.length == 0:
+		f.tail = 0
+	case f.approx:
+		f.tail = foldTail(f, f.length)
+	default:
+		f.tail = f.entryAtLocked(f.length - 1).KV
+	}
+	fs.mu.Unlock()
+
+	dt.next++
+	dt.recs[f] = &diskRec{key: e.Path, pages: pages, order: dt.next}
+	return f, nil
+}
+
+// reserveDisk accounts n disk pages, all-or-nothing.
+func (fs *FS) reserveDisk(n int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if err := fs.reserveLocked(Disk); err != nil {
+			for j := 0; j < i; j++ {
+				fs.releaseLocked(Disk)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// releaseDisk returns n disk pages.
+func (fs *FS) releaseDisk(n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := 0; i < n; i++ {
+		fs.releaseLocked(Disk)
+	}
+}

@@ -1,0 +1,266 @@
+package kvfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/model"
+)
+
+// diskFS returns a tiny three-tier FS plus its DiskTier over an
+// unbilled SimFS-backed store.
+func diskFS(pageTokens, gpuPages, hostPages, diskPages int) (*FS, *DiskTier) {
+	fs := NewFS(Config{
+		PageTokens:    pageTokens,
+		GPUBytes:      int64(gpuPages) * int64(pageTokens),
+		HostBytes:     int64(hostPages) * int64(pageTokens),
+		DiskBytes:     int64(diskPages) * int64(pageTokens),
+		BytesPerToken: 1,
+	})
+	store := kvstore.NewStore(kvstore.NewSimFS(nil, model.CostModel{}))
+	return fs, NewDiskTier(fs, store)
+}
+
+func TestSpillPromoteRoundTrip(t *testing.T) {
+	fs, dt := diskFS(4, 100, 100, 100)
+	f, err := fs.Create("/kv/prefix", "u", ModeShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, f, 10, 0)
+	want := f.Tail()
+
+	if _, err := f.Offload(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := dt.Spill(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("spilled %d tokens, want 10", n)
+	}
+	st := fs.Stats()
+	if st.HostPages != 0 || st.GPUPages != 0 {
+		t.Fatalf("live pages after spill = gpu %d host %d, want 0/0", st.GPUPages, st.HostPages)
+	}
+	if st.DiskPages != 3 {
+		t.Fatalf("disk pages = %d, want 3", st.DiskPages)
+	}
+	if _, _, disk := f.ResidentTokens(); disk != 10 {
+		t.Fatalf("disk-resident tokens = %d, want 10", disk)
+	}
+	if f.GPUResident() {
+		t.Fatal("spilled file claims GPU residency")
+	}
+
+	back, err := f.PromoteDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != 10 {
+		t.Fatalf("promoted %d tokens, want 10", back)
+	}
+	if !f.GPUResident() {
+		t.Fatal("not GPU-resident after promote")
+	}
+	if f.Tail() != want {
+		t.Fatal("tail changed across spill/promote")
+	}
+	// The durable copy stays: promote does not release the disk
+	// reservation, and the file can append again.
+	if st := fs.Stats(); st.DiskPages != 3 {
+		t.Fatalf("disk pages after promote = %d, want 3", st.DiskPages)
+	}
+	mustAppend(t, f, 3, 10)
+}
+
+func TestDiskCapacity(t *testing.T) {
+	fs, dt := diskFS(4, 100, 100, 2) // 8 tokens of disk
+	f := fs.CreateAnon("u")
+	mustAppend(t, f, 12, 0) // needs 3 pages
+	if err := dt.Put(f); !errors.Is(err, ErrNoDisk) {
+		t.Fatalf("put over capacity = %v, want ErrNoDisk", err)
+	}
+	// All-or-nothing: the failed put must not leak partial reservations.
+	if st := fs.Stats(); st.DiskPages != 0 {
+		t.Fatalf("disk pages after failed put = %d, want 0", st.DiskPages)
+	}
+	small := fs.CreateAnon("u")
+	mustAppend(t, small, 8, 0)
+	if err := dt.Put(small); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.DiskPages != 2 {
+		t.Fatalf("disk pages = %d, want 2", st.DiskPages)
+	}
+}
+
+func TestPutReplacesAndResizes(t *testing.T) {
+	fs, dt := diskFS(4, 100, 100, 100)
+	f, _ := fs.Create("/kv/a", "u", ModePrivate)
+	mustAppend(t, f, 12, 0)
+	if err := dt.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.DiskPages != 3 {
+		t.Fatalf("disk pages = %d, want 3", st.DiskPages)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.DiskPages != 1 {
+		t.Fatalf("disk pages after shrink = %d, want 1", st.DiskPages)
+	}
+	if dt.Store().Len() != 1 {
+		t.Fatalf("store entries = %d, want 1 (replaced by path)", dt.Store().Len())
+	}
+	if dt.Store().Tokens() != 4 {
+		t.Fatalf("store tokens = %d, want 4", dt.Store().Tokens())
+	}
+}
+
+func TestForgetReleasesDisk(t *testing.T) {
+	fs, dt := diskFS(4, 100, 100, 100)
+	f, _ := fs.Create("/kv/a", "u", ModePrivate)
+	mustAppend(t, f, 10, 0)
+	if err := dt.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	dt.Forget(f)
+	if st := fs.Stats(); st.DiskPages != 0 {
+		t.Fatalf("disk pages after forget = %d, want 0", st.DiskPages)
+	}
+	if dt.Store().Len() != 0 {
+		t.Fatal("store entry survived forget")
+	}
+}
+
+func TestCommitGCsRemovedFiles(t *testing.T) {
+	fs, dt := diskFS(4, 100, 100, 100)
+	f, _ := fs.Create("/kv/a", "u", ModePrivate)
+	mustAppend(t, f, 10, 0)
+	if err := dt.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.DiskPages != 0 {
+		t.Fatalf("disk pages after GC commit = %d, want 0", st.DiskPages)
+	}
+	if dt.Store().Len() != 0 {
+		t.Fatal("removed file still in store after commit")
+	}
+}
+
+func TestImportRecoversNamedFile(t *testing.T) {
+	// First incarnation: build, spill, commit.
+	vfs := kvstore.NewSimFS(nil, model.CostModel{})
+	fs1 := NewFS(Config{PageTokens: 4, GPUBytes: 400, HostBytes: 400, DiskBytes: 400, BytesPerToken: 1})
+	dt1 := NewDiskTier(fs1, kvstore.NewStore(vfs))
+	f, _ := fs1.Create("/kv/sys", "admin", ModeShared)
+	mustAppend(t, f, 10, 0)
+	wantTail := f.Tail()
+	wantRoot := f.Root()
+	if err := dt1.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation over the same (simulated) disk.
+	fs2 := NewFS(Config{PageTokens: 4, GPUBytes: 400, HostBytes: 400, DiskBytes: 400, BytesPerToken: 1})
+	store2 := kvstore.NewStore(vfs)
+	dt2 := NewDiskTier(fs2, store2)
+	entries, err := store2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("recovered %d entries, want 1", len(entries))
+	}
+	g, err := dt2.Import(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Path() != "/kv/sys" || g.Owner() != "admin" || g.Mode() != ModeShared {
+		t.Fatalf("imported identity %s/%s/%d", g.Path(), g.Owner(), g.Mode())
+	}
+	if g.Tail() != wantTail || g.Root() != wantRoot {
+		t.Fatal("imported context hashes differ from original")
+	}
+	if g.GPUResident() {
+		t.Fatal("imported file should be disk-resident")
+	}
+	if st := fs2.Stats(); st.DiskPages != 3 || st.GPUPages != 0 {
+		t.Fatalf("pages after import = gpu %d disk %d, want 0/3", st.GPUPages, st.DiskPages)
+	}
+	if dt2.Pages(g) != 3 {
+		t.Fatalf("tier tracks %d pages, want 3", dt2.Pages(g))
+	}
+
+	// Promote and verify the file is fully usable again.
+	if n, err := g.PromoteDisk(); err != nil || n != 10 {
+		t.Fatalf("promote = %d, %v", n, err)
+	}
+	mustAppend(t, g, 2, 10)
+
+	// Importing the same path twice fails and leaks nothing.
+	if _, err := dt2.Import(entries[0]); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate import = %v, want ErrExist", err)
+	}
+	if st := fs2.Stats(); st.DiskPages != 3 {
+		t.Fatalf("disk pages after failed import = %d, want 3", st.DiskPages)
+	}
+}
+
+func TestImportApproxFile(t *testing.T) {
+	vfs := kvstore.NewSimFS(nil, model.CostModel{})
+	fs1 := NewFS(Config{PageTokens: 4, GPUBytes: 400, HostBytes: 400, DiskBytes: 400, BytesPerToken: 1})
+	dt1 := NewDiskTier(fs1, kvstore.NewStore(vfs))
+	a := fs1.CreateAnon("u")
+	mustAppend(t, a, 5, 0)
+	b := fs1.CreateAnon("u")
+	mustAppend(t, b, 5, 5)
+	m, err := fs1.Merge("u", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Link(m, "/kv/merged", "u"); err != nil {
+		t.Fatal(err)
+	}
+	wantTail := m.Tail()
+	if err := dt1.Put(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2 := NewFS(Config{PageTokens: 4, GPUBytes: 400, HostBytes: 400, DiskBytes: 400, BytesPerToken: 1})
+	store2 := kvstore.NewStore(vfs)
+	dt2 := NewDiskTier(fs2, store2)
+	entries, err := store2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dt2.Import(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Approx() {
+		t.Fatal("approx flag lost across snapshot round trip")
+	}
+	if g.Tail() != wantTail {
+		t.Fatal("approximate tail differs after import")
+	}
+}

@@ -411,7 +411,11 @@ func (f *File) Remove() error {
 
 func (fs *FS) derefLocked(pg *page) {
 	pg.ref--
-	if pg.ref == 0 {
+	if pg.ref == 0 && pg.tier != Disk {
+		// Disk-tier footprint is owned by the file's snapshot-store
+		// record (see DiskTier), not by the in-memory page: dropping the
+		// page leaves the durable copy and its reservation behind until
+		// DiskTier.Forget drops the record.
 		fs.releaseLocked(pg.tier)
 	}
 }
@@ -463,17 +467,20 @@ func (f *File) GPUResident() bool {
 }
 
 // ResidentTokens reports how many of the file's tokens live in each tier.
-func (f *File) ResidentTokens() (gpu, host int) {
+func (f *File) ResidentTokens() (gpu, host, disk int) {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
 	for _, pg := range f.pages {
-		if pg.tier == GPU {
+		switch pg.tier {
+		case GPU:
 			gpu += len(pg.entries)
-		} else {
+		case Host:
 			host += len(pg.entries)
+		case Disk:
+			disk += len(pg.entries)
 		}
 	}
-	return gpu, host
+	return gpu, host, disk
 }
 
 // Offload migrates the file's exclusively owned GPU pages to host memory,
@@ -505,7 +512,9 @@ func (f *File) Offload() (tokens int, err error) {
 
 // Restore migrates the file's host pages back to the GPU, returning the
 // number of tokens moved. On ErrNoSpace the file is left partially
-// restored; the caller may retry after freeing memory.
+// restored; the caller may retry after freeing memory. Disk-tier pages
+// are not touched: they come back through PromoteDisk, whose cost (NVMe
+// read plus PCIe) is billed separately.
 func (f *File) Restore() (tokens int, err error) {
 	fs := f.fs
 	fs.mu.Lock()
@@ -521,6 +530,56 @@ func (f *File) Restore() (tokens int, err error) {
 			return tokens, err
 		}
 		fs.releaseLocked(Host)
+		pg.tier = GPU
+		f.offGPU--
+		tokens += len(pg.entries)
+	}
+	return tokens, nil
+}
+
+// DemoteHostPages moves the file's exclusively owned host pages to the
+// disk tier, returning the tokens moved. The host reservation is
+// released; the disk footprint is NOT reserved here — the caller
+// (DiskTier.Spill) has already written the file to the snapshot store,
+// whose record owns the disk reservation for every page of the file.
+func (f *File) DemoteHostPages() (tokens int) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.removed {
+		return 0
+	}
+	for _, pg := range f.pages {
+		if pg.tier != Host || pg.ref > 1 {
+			continue
+		}
+		fs.releaseLocked(Host)
+		pg.tier = Disk
+		tokens += len(pg.entries)
+	}
+	return tokens
+}
+
+// PromoteDisk moves the file's disk-tier pages to the GPU, returning the
+// tokens moved. The durable copy (and its disk reservation) stays behind
+// in the snapshot store. On ErrNoSpace the file is left partially
+// promoted; the caller may retry after freeing memory. The caller bills
+// the move: NVMe read plus PCIe for a data load, or batch prefill tokens
+// when recomputing is cheaper (see core's restore-vs-recompute choice).
+func (f *File) PromoteDisk() (tokens int, err error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.removed {
+		return 0, ErrRemoved
+	}
+	for _, pg := range f.pages {
+		if pg.tier != Disk {
+			continue
+		}
+		if err := fs.reserveLocked(GPU); err != nil {
+			return tokens, err
+		}
 		pg.tier = GPU
 		f.offGPU--
 		tokens += len(pg.entries)

@@ -39,6 +39,7 @@ import (
 var (
 	ErrNoSpace  = errors.New("kvfs: out of GPU memory")
 	ErrNoHost   = errors.New("kvfs: out of host memory")
+	ErrNoDisk   = errors.New("kvfs: out of disk space")
 	ErrRemoved  = errors.New("kvfs: file removed")
 	ErrPerm     = errors.New("kvfs: permission denied")
 	ErrLocked   = errors.New("kvfs: file locked")
@@ -70,17 +71,26 @@ const Admin = "admin"
 // Tier identifies where a page's tensors live.
 type Tier uint8
 
-// Memory tiers.
+// Memory tiers. GPU and Host are the paper's two levels (§4.3); Disk is
+// the durable third level backed by the internal/kvstore snapshot store,
+// which warm restarts re-prefill from (see DiskTier).
 const (
 	GPU Tier = iota
 	Host
+	Disk
 )
 
 func (t Tier) String() string {
-	if t == GPU {
+	switch t {
+	case GPU:
 		return "gpu"
+	case Host:
+		return "host"
+	case Disk:
+		return "disk"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
 	}
-	return "host"
 }
 
 // Entry is one token's KV-cache record. KV identifies the tensor contents:
@@ -100,9 +110,11 @@ type Entry struct {
 type Config struct {
 	// PageTokens is the page size in tokens (vLLM uses 16).
 	PageTokens int
-	// GPUBytes and HostBytes bound the two tiers.
+	// GPUBytes, HostBytes, and DiskBytes bound the three tiers. A zero
+	// DiskBytes disables the disk tier.
 	GPUBytes  int64
 	HostBytes int64
+	DiskBytes int64
 	// BytesPerToken is the KV footprint per token (model dependent).
 	BytesPerToken int64
 }
@@ -123,12 +135,20 @@ type Stats struct {
 	GPUPages     int
 	HostPages    int
 	GPUPageCap   int
+	HostPageCap  int
 	GPUPeakPages int
-	Files        int
-	Forks        int64
-	COWCopies    int64
-	OOMErrors    int64
-	PageTokens   int
+	// DiskPages is the snapshot-store footprint in pages: every page
+	// with a durable copy on the disk tier, whether or not it also has a
+	// live GPU or host copy (see DiskTier). DiskPeakPages is its
+	// high-water mark.
+	DiskPages     int
+	DiskPageCap   int
+	DiskPeakPages int
+	Files         int
+	Forks         int64
+	COWCopies     int64
+	OOMErrors     int64
+	PageTokens    int
 }
 
 // GPUTokens reports the worst-case token capacity equivalent of used GPU
@@ -149,9 +169,12 @@ type FS struct {
 
 	gpuPages  int
 	hostPages int
+	diskPages int
 	gpuCap    int
 	hostCap   int
+	diskCap   int
 	gpuPeak   int
+	diskPeak  int
 
 	byPath map[string]*File
 	files  int
@@ -203,6 +226,7 @@ func NewFS(cfg Config) *FS {
 	}
 	fs.gpuCap = int(cfg.GPUBytes / pageBytes)
 	fs.hostCap = int(cfg.HostBytes / pageBytes)
+	fs.diskCap = int(cfg.DiskBytes / pageBytes)
 	return fs
 }
 
@@ -214,15 +238,19 @@ func (fs *FS) Stats() Stats {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return Stats{
-		GPUPages:     fs.gpuPages,
-		HostPages:    fs.hostPages,
-		GPUPageCap:   fs.gpuCap,
-		GPUPeakPages: fs.gpuPeak,
-		Files:        fs.files,
-		Forks:        fs.forks,
-		COWCopies:    fs.cowCopies,
-		OOMErrors:    fs.oomErrors,
-		PageTokens:   fs.cfg.PageTokens,
+		GPUPages:      fs.gpuPages,
+		HostPages:     fs.hostPages,
+		GPUPageCap:    fs.gpuCap,
+		HostPageCap:   fs.hostCap,
+		GPUPeakPages:  fs.gpuPeak,
+		DiskPages:     fs.diskPages,
+		DiskPageCap:   fs.diskCap,
+		DiskPeakPages: fs.diskPeak,
+		Files:         fs.files,
+		Forks:         fs.forks,
+		COWCopies:     fs.cowCopies,
+		OOMErrors:     fs.oomErrors,
+		PageTokens:    fs.cfg.PageTokens,
 	}
 }
 
@@ -251,6 +279,15 @@ func (fs *FS) reserveLocked(t Tier) error {
 			return ErrNoHost
 		}
 		fs.hostPages++
+	case Disk:
+		if fs.diskPages >= fs.diskCap {
+			fs.oomErrors++
+			return ErrNoDisk
+		}
+		fs.diskPages++
+		if fs.diskPages > fs.diskPeak {
+			fs.diskPeak = fs.diskPages
+		}
 	}
 	return nil
 }
@@ -262,6 +299,8 @@ func (fs *FS) releaseLocked(t Tier) {
 		fs.releaseDirty = true
 	case Host:
 		fs.hostPages--
+	case Disk:
+		fs.diskPages--
 	}
 }
 

@@ -484,7 +484,7 @@ func TestOffloadRestore(t *testing.T) {
 	if !f.GPUResident() {
 		t.Fatal("not restored")
 	}
-	gpu, host := f.ResidentTokens()
+	gpu, host, _ := f.ResidentTokens()
 	if gpu != 10 || host != 0 {
 		t.Fatalf("resident = %d/%d", gpu, host)
 	}
@@ -726,7 +726,7 @@ func TestTierMigrationProperty(t *testing.T) {
 		if base.Tail() != want || base.Len() != 20 {
 			return false
 		}
-		gpu, host := base.ResidentTokens()
+		gpu, host, _ := base.ResidentTokens()
 		return gpu == 20 && host == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {

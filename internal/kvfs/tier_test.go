@@ -1,0 +1,20 @@
+package kvfs
+
+import "testing"
+
+func TestTierString(t *testing.T) {
+	tests := []struct {
+		tier Tier
+		want string
+	}{
+		{GPU, "gpu"},
+		{Host, "host"},
+		{Disk, "disk"},
+		{Tier(42), "tier(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.tier.String(); got != tt.want {
+			t.Errorf("Tier(%d).String() = %q, want %q", uint8(tt.tier), got, tt.want)
+		}
+	}
+}

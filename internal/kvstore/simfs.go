@@ -1,0 +1,231 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+// SimFS is an in-memory VFS modelling one NVMe-class device. I/O costs
+// virtual time according to the model.CostModel disk parameters: reads
+// pay latency plus read-bandwidth time when they happen, writes land in
+// the "page cache" for free and are billed at Sync (latency plus
+// write-bandwidth time over the bytes dirtied since the last Sync), and
+// SyncDir pays one metadata flush. A nil clock or zero-valued cost model
+// disables billing, which unit tests use to exercise pure semantics.
+//
+// SimFS also models crash durability: file contents are durable up to the
+// last Sync, namespace changes (creates, renames, removes) up to the last
+// SyncDir. Crash rolls the filesystem back to that durable state —
+// exactly the failure the snapshot store's temp-file + Rename + SyncDir
+// publish protocol must survive. The upcoming fault-injection layer wraps
+// the VFS interface and calls Crash at adversarial moments.
+type SimFS struct {
+	mu   sync.Mutex
+	clk  *simclock.Clock
+	cost model.CostModel
+
+	files   map[string]*simFile // current namespace
+	durable map[string]*simFile // namespace as of the last SyncDir
+}
+
+type simFile struct {
+	data   []byte // current contents
+	synced []byte // contents as of the last Sync
+	dirty  int64  // bytes written since the last Sync (billed there)
+}
+
+// NewSimFS returns an empty simulated disk billing I/O time on clk using
+// cost's Disk* parameters. clk may be nil for unbilled (test) use.
+func NewSimFS(clk *simclock.Clock, cost model.CostModel) *SimFS {
+	return &SimFS{
+		clk:     clk,
+		cost:    cost,
+		files:   make(map[string]*simFile),
+		durable: make(map[string]*simFile),
+	}
+}
+
+// Bind re-attaches the filesystem to a new clock. A simulated restart
+// shuts the old kernel's clock down and boots a new kernel on a fresh
+// one; the disk — the only state that survives — moves across with Bind.
+func (fs *SimFS) Bind(clk *simclock.Clock) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk = clk
+}
+
+// Crash simulates power loss: contents revert to the last Sync and the
+// namespace to the last SyncDir. Open handles keep working against the
+// post-crash state, as a restarted process would see.
+func (fs *SimFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.durable))
+	for name := range fs.durable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fs.files = make(map[string]*simFile, len(names))
+	for _, name := range names {
+		f := fs.durable[name]
+		f.data = append([]byte(nil), f.synced...)
+		f.dirty = 0
+		fs.files[name] = f
+	}
+	fs.durable = make(map[string]*simFile, len(names))
+	for _, name := range names {
+		fs.durable[name] = fs.files[name]
+	}
+}
+
+// sleep charges d of virtual time to the calling actor. It must be called
+// without fs.mu held: disk waits park the caller on the clock, and no
+// other actor should be blocked out of the filesystem meanwhile.
+func (fs *SimFS) sleep(d time.Duration) {
+	if fs.clk == nil || d <= 0 {
+		return
+	}
+	fs.clk.Sleep(d)
+}
+
+// Create makes (or truncates) a file. Metadata-only: the namespace change
+// is billed, like all durability, at SyncDir.
+func (fs *SimFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		f = &simFile{}
+		fs.files[name] = f
+	}
+	f.data = nil
+	f.synced = nil
+	f.dirty = 0
+	return &simHandle{fs: fs, f: f}, nil
+}
+
+// Open opens an existing file.
+func (fs *SimFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: open %s: %w", name, ErrNotExist)
+	}
+	return &simHandle{fs: fs, f: f}, nil
+}
+
+// Rename moves a file over any existing target. Durable after SyncDir.
+func (fs *SimFS) Rename(oldName, newName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldName]
+	if !ok {
+		return fmt.Errorf("kvstore: rename %s: %w", oldName, ErrNotExist)
+	}
+	delete(fs.files, oldName)
+	fs.files[newName] = f
+	return nil
+}
+
+// Remove unlinks a file. Durable after SyncDir.
+func (fs *SimFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("kvstore: remove %s: %w", name, ErrNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the sorted current names.
+func (fs *SimFS) List() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir makes the current namespace crash-durable, paying one metadata
+// flush of disk latency.
+func (fs *SimFS) SyncDir() error {
+	fs.mu.Lock()
+	fs.durable = make(map[string]*simFile, len(fs.files))
+	for name, f := range fs.files {
+		fs.durable[name] = f
+	}
+	d := fs.cost.DiskWriteTime(0)
+	fs.mu.Unlock()
+	fs.sleep(d)
+	return nil
+}
+
+type simHandle struct {
+	fs *SimFS
+	f  *simFile
+}
+
+func (h *simHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	var n int
+	var err error
+	if off < 0 || off > int64(len(h.f.data)) {
+		err = fmt.Errorf("kvstore: read at %d of %d bytes: %w", off, len(h.f.data), ErrShortRead)
+	} else {
+		n = copy(p, h.f.data[off:])
+		if n < len(p) {
+			err = fmt.Errorf("kvstore: read %d of %d bytes: %w", n, len(p), ErrShortRead)
+		}
+	}
+	d := h.fs.cost.DiskReadTime(int64(n))
+	h.fs.mu.Unlock()
+	h.fs.sleep(d)
+	return n, err
+}
+
+func (h *simHandle) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("kvstore: write at negative offset %d", off)
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(h.f.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[off:], p)
+	h.f.dirty += int64(len(p))
+	return len(p), nil
+}
+
+func (h *simHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return int64(len(h.f.data)), nil
+}
+
+// Sync flushes the file's contents to the simulated medium, billing the
+// bytes dirtied since the last Sync at disk write bandwidth.
+func (h *simHandle) Sync() error {
+	h.fs.mu.Lock()
+	h.f.synced = append([]byte(nil), h.f.data...)
+	d := h.fs.cost.DiskWriteTime(h.f.dirty)
+	h.f.dirty = 0
+	h.fs.mu.Unlock()
+	h.fs.sleep(d)
+	return nil
+}
+
+func (h *simHandle) Close() error { return nil }

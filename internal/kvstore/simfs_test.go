@@ -1,0 +1,119 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+func TestSimFSSemantics(t *testing.T) {
+	fs := NewSimFS(nil, model.CostModel{})
+	if _, err := fs.Open("missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing = %v, want ErrNotExist", err)
+	}
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO world" {
+		t.Fatalf("read %q", buf)
+	}
+	if _, err := f.ReadAt(make([]byte, 20), 0); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("over-read = %v, want ErrShortRead", err)
+	}
+	if n, _ := f.Size(); n != 11 {
+		t.Fatalf("size = %d", n)
+	}
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	if len(names) != 1 || names[0] != "b" {
+		t.Fatalf("list after rename = %v", names)
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.List(); len(names) != 0 {
+		t.Fatalf("list after remove = %v", names)
+	}
+}
+
+func TestSimFSCrashDropsUnsynced(t *testing.T) {
+	fs := NewSimFS(nil, model.CostModel{})
+	f, _ := fs.Create("log")
+	f.WriteAt([]byte("durable"), 0)
+	f.Sync()
+	fs.SyncDir()
+	f.WriteAt([]byte("UNSYNCED"), 0)
+	fs.Crash()
+
+	f2, err := fs.Open("log")
+	if err != nil {
+		t.Fatalf("durable file gone after crash: %v", err)
+	}
+	buf := make([]byte, 7)
+	f2.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("post-crash contents %q, want last-synced", buf)
+	}
+
+	// A create without SyncDir does not survive either.
+	fs.Create("ephemeral")
+	fs.Crash()
+	if _, err := fs.Open("ephemeral"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("unsynced create survived crash: %v", err)
+	}
+}
+
+func TestSimFSBillsVirtualTime(t *testing.T) {
+	cost := model.CostModel{
+		DiskReadBytesPerSec:  1 << 20, // 1 MiB/s so times are visible
+		DiskWriteBytesPerSec: 1 << 20,
+		DiskLatency:          time.Millisecond,
+	}
+	clk := simclock.New()
+	fs := NewSimFS(clk, cost)
+	var wrote, read, synced time.Duration
+	clk.Go("io", func() {
+		f, _ := fs.Create("blob")
+		start := clk.Now()
+		f.WriteAt(make([]byte, 1<<20), 0)
+		wrote = clk.Now() - start
+
+		start = clk.Now()
+		f.Sync()
+		fs.SyncDir()
+		synced = clk.Now() - start
+
+		start = clk.Now()
+		f.ReadAt(make([]byte, 1<<20), 0)
+		read = clk.Now() - start
+	})
+	clk.WaitQuiescent()
+	clk.Shutdown()
+
+	if wrote != 0 {
+		t.Fatalf("buffered write cost %v, want free until Sync", wrote)
+	}
+	// Sync pays latency + 1MiB at write bandwidth, SyncDir one latency.
+	if want := 2*time.Millisecond + time.Second; synced != want {
+		t.Fatalf("sync cost %v, want %v", synced, want)
+	}
+	if want := time.Millisecond + time.Second; read != want {
+		t.Fatalf("read cost %v, want %v", read, want)
+	}
+}

@@ -1,0 +1,66 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSnapshotDecode asserts the decoder's safety contract: arbitrary
+// bytes must never panic, and anything the decoder accepts must be a
+// self-consistent snapshot — re-encoding the decoded entries yields an
+// image that decodes to the same entry set (no phantom entries conjured
+// from corruption).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid, err := EncodeSnapshot(testEntries())
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, _ := EncodeSnapshot(nil)
+	f.Add(valid)
+	f.Add(empty)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:snapHeaderSize])
+	f.Add([]byte(snapMagic))
+	truncCount := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(truncCount[8:12], 1<<20)
+	f.Add(truncCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: seqs strictly increase and the entry set
+		// round-trips bit-exactly through a re-encode.
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Seq <= entries[i-1].Seq {
+				t.Fatalf("accepted snapshot with unsorted seqs: %d then %d",
+					entries[i-1].Seq, entries[i].Seq)
+			}
+		}
+		re, err := EncodeSnapshot(entries)
+		if err != nil {
+			t.Fatalf("accepted entries do not re-encode: %v", err)
+		}
+		again, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d vs %d", len(again), len(entries))
+		}
+		if !bytes.Equal(mustEncode(t, again), re) {
+			t.Fatal("round trip is not a fixed point")
+		}
+	})
+}
+
+func mustEncode(t *testing.T, entries []SnapshotEntry) []byte {
+	t.Helper()
+	b, err := EncodeSnapshot(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

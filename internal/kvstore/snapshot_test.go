@@ -1,0 +1,144 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/token"
+)
+
+// testEntries builds a small deterministic entry set: two named prefixes
+// and one anonymous spill.
+func testEntries() []SnapshotEntry {
+	mk := func(seq uint64, path, owner string, n int, seed token.ID) SnapshotEntry {
+		e := SnapshotEntry{Seq: seq, Path: path, Owner: owner, Mode: 1}
+		var h model.CtxHash
+		for i := 0; i < n; i++ {
+			h = h.Extend(seed+token.ID(i), i)
+			e.Recs = append(e.Recs, Rec{Tok: seed + token.ID(i), Pos: i, KV: h})
+		}
+		if n > 0 {
+			e.Root = e.Recs[0].KV
+		}
+		return e
+	}
+	return []SnapshotEntry{
+		mk(1, "fam-0", "admin", 40, 100),
+		mk(2, "", "u1", 7, 500),
+		mk(5, "fam-1", "admin", 17, 900),
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := testEntries()
+	data, err := EncodeSnapshot(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+	for i, e := range out {
+		want := in[i]
+		if e.Seq != want.Seq || e.Path != want.Path || e.Owner != want.Owner || e.Mode != want.Mode || e.Root != want.Root {
+			t.Fatalf("entry %d identity mismatch: %+v vs %+v", i, e, want)
+		}
+		if len(e.Recs) != len(want.Recs) {
+			t.Fatalf("entry %d: %d recs, want %d", i, len(e.Recs), len(want.Recs))
+		}
+		for j, r := range e.Recs {
+			if r != want.Recs[j] {
+				t.Fatalf("entry %d rec %d: %+v vs %+v", i, j, r, want.Recs[j])
+			}
+		}
+	}
+}
+
+func TestSnapshotIndexOnlyRead(t *testing.T) {
+	fs := NewSimFS(nil, model.CostModel{})
+	data, err := EncodeSnapshot(testEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("snap")
+	f.WriteAt(data, 0)
+	recs, err := ReadSnapshotIndex(f)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d index records, want 3", len(recs))
+	}
+	named := 0
+	for _, rec := range recs {
+		if rec.Named() {
+			named++
+		}
+	}
+	if named != 2 {
+		t.Fatalf("got %d named records, want 2", named)
+	}
+	if recs[0].Tokens != 40 || recs[0].Start != 0 {
+		t.Fatalf("record 0 range = (%d,%d), want (0,40)", recs[0].Start, recs[0].Tokens)
+	}
+	e, err := ReadSnapshotEntry(f, recs[2])
+	if err != nil {
+		t.Fatalf("entry: %v", err)
+	}
+	if e.Path != "fam-1" || len(e.Recs) != 17 {
+		t.Fatalf("entry 2 = %q/%d recs", e.Path, len(e.Recs))
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	data, err := EncodeSnapshot(testEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[4:8], 99); return b }},
+		{"truncated header", func(b []byte) []byte { return b[:16] }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"index bitflip", func(b []byte) []byte { b[snapHeaderSize+9] ^= 0x40; return b }},
+		{"payload bitflip", func(b []byte) []byte { b[len(b)-5] ^= 0x01; return b }},
+		{"huge count", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:12], 1<<30); return b }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(append([]byte(nil), data...))
+		if _, err := DecodeSnapshot(mutated); err == nil {
+			t.Errorf("%s: decode accepted corrupted snapshot", tc.name)
+		}
+	}
+}
+
+func TestSnapshotRejectsDuplicateSeq(t *testing.T) {
+	in := testEntries()
+	in[1].Seq = in[0].Seq
+	if _, err := EncodeSnapshot(in); err == nil {
+		t.Fatal("encode accepted duplicate seqs")
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	data, err := EncodeSnapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d entries from empty snapshot", len(out))
+	}
+}

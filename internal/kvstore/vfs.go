@@ -1,0 +1,70 @@
+// Package kvstore implements Symphony's durable disk KV tier: a minimal
+// virtual filesystem (VFS) plus an FMC1-style snapshot format and store
+// for exported KV-cache prefixes.
+//
+// The host tier of kvd is still RAM-in-the-sim: a symphonyd restart loses
+// every warm prefix, and a large deployment then pays a cold-start
+// recompute stampede re-prefilling its shared system prompts. This
+// package adds the third tier underneath:
+//
+//   - VFS is the narrow filesystem interface the store writes through.
+//     The only implementation today is SimFS, an in-memory disk whose
+//     latency and bandwidth come from the model.CostModel disk parameters
+//     and whose time passes on the virtual clock — but the interface is
+//     the seam a FaultInjectionFS wraps later to torture the recovery
+//     path (ROADMAP: chaos harness).
+//   - Snapshots use a magic+version header and fixed-size per-entry index
+//     records (root hash, seq, token range, byte span, checksum), so
+//     recovery can filter eligible prefixes by reading only the index and
+//     then fetch just the surviving entries' payloads.
+//   - Store keeps the current entry set and publishes each commit as a
+//     whole new snapshot file, made durable crash-safely: write to a temp
+//     name, Sync, Rename over the published name, SyncDir.
+//
+// Layering: kvstore depends only on simclock, model, and token. kvfs
+// builds its DiskTier on top of this package, never the reverse.
+package kvstore
+
+import "errors"
+
+// Errors returned by VFS implementations.
+var (
+	// ErrNotExist reports a name absent from the filesystem.
+	ErrNotExist = errors.New("kvstore: file does not exist")
+	// ErrShortRead reports a ReadAt extending past the end of the file.
+	ErrShortRead = errors.New("kvstore: short read")
+)
+
+// VFS is the filesystem abstraction the snapshot store runs on: a flat
+// namespace of byte files with explicit durability. Writes and renames
+// become crash-durable only through Sync (file contents) and SyncDir
+// (namespace changes: creates, renames, removes), mirroring POSIX.
+//
+// Implementations must be safe for concurrent use by clock actors.
+type VFS interface {
+	// Create makes (or truncates) the named file and opens it for I/O.
+	Create(name string) (File, error)
+	// Open opens an existing file, failing with ErrNotExist otherwise.
+	Open(name string) (File, error)
+	// Rename atomically moves a file to a new name, replacing any
+	// existing target. Durable only after SyncDir.
+	Rename(oldName, newName string) error
+	// Remove unlinks a file. Durable only after SyncDir.
+	Remove(name string) error
+	// List returns all current names in sorted order.
+	List() ([]string, error)
+	// SyncDir makes all namespace changes so far crash-durable.
+	SyncDir() error
+}
+
+// File is an open file handle. ReadAt and WriteAt follow io semantics at
+// absolute offsets; WriteAt past the end extends the file.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	// Size reports the current length in bytes.
+	Size() (int64, error)
+	// Sync makes the file's contents crash-durable.
+	Sync() error
+	Close() error
+}

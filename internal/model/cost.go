@@ -26,6 +26,14 @@ type CostModel struct {
 	// HostTransferBytesPerSec is the effective PCIe bandwidth used when
 	// offloading KV pages between GPU and host memory (§4.3).
 	HostTransferBytesPerSec int64
+	// DiskReadBytesPerSec and DiskWriteBytesPerSec are the effective
+	// bandwidths of the durable disk KV tier (internal/kvstore), and
+	// DiskLatency the per-operation latency floor every disk I/O pays.
+	// Zero bandwidth makes the corresponding transfer free, matching
+	// HostTransferBytesPerSec's convention.
+	DiskReadBytesPerSec  int64
+	DiskWriteBytesPerSec int64
+	DiskLatency          time.Duration
 	// MaxBatchTokens bounds the new tokens a single step may process; the
 	// scheduler splits larger batches.
 	MaxBatchTokens int
@@ -40,6 +48,9 @@ func A100Llama13B() CostModel {
 		PerToken:                280 * time.Microsecond,
 		KVBytesPerToken:         800 << 10, // 2·40 layers·5120 dim·2B
 		HostTransferBytesPerSec: 20 << 30,  // effective PCIe gen4
+		DiskReadBytesPerSec:     6 << 30,   // NVMe gen4 sequential read
+		DiskWriteBytesPerSec:    3 << 30,   // NVMe gen4 sustained write
+		DiskLatency:             100 * time.Microsecond,
 		MaxBatchTokens:          8192,
 	}
 }
@@ -53,6 +64,9 @@ func A100Llama1B() CostModel {
 		PerToken:                30 * time.Microsecond,
 		KVBytesPerToken:         64 << 10,
 		HostTransferBytesPerSec: 20 << 30,
+		DiskReadBytesPerSec:     6 << 30,
+		DiskWriteBytesPerSec:    3 << 30,
+		DiskLatency:             100 * time.Microsecond,
 		MaxBatchTokens:          16384,
 	}
 }
@@ -83,4 +97,22 @@ func (c CostModel) TransferTime(tokens int) time.Duration {
 // KVBytes returns the KV-cache footprint of n tokens.
 func (c CostModel) KVBytes(tokens int) int64 {
 	return int64(tokens) * c.KVBytesPerToken
+}
+
+// DiskReadTime returns the virtual time to read n bytes from the disk KV
+// tier: the per-operation latency floor plus the bandwidth-limited
+// transfer. Zero bandwidth means the tier is not modelled; reads are free.
+func (c CostModel) DiskReadTime(bytes int64) time.Duration {
+	if c.DiskReadBytesPerSec <= 0 {
+		return 0
+	}
+	return c.DiskLatency + time.Duration(float64(bytes)/float64(c.DiskReadBytesPerSec)*float64(time.Second))
+}
+
+// DiskWriteTime is DiskReadTime for the write direction.
+func (c CostModel) DiskWriteTime(bytes int64) time.Duration {
+	if c.DiskWriteBytesPerSec <= 0 {
+		return 0
+	}
+	return c.DiskLatency + time.Duration(float64(bytes)/float64(c.DiskWriteBytesPerSec)*float64(time.Second))
 }

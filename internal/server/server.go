@@ -242,6 +242,19 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			"swap_restored_cost": st.KVD.SwapRestoredCost.String(),
 			"preemptions":        st.KVD.Preemptions,
 		},
+		"disk": map[string]any{
+			"enabled":           st.FS.DiskPageCap > 0,
+			"disk_pages":        st.FS.DiskPages,
+			"disk_page_cap":     st.FS.DiskPageCap,
+			"disk_peak_pages":   st.FS.DiskPeakPages,
+			"spills":            st.KVD.Spills,
+			"spilled_tokens":    st.KVD.SpilledTokens,
+			"loads":             st.KVD.DiskLoads,
+			"loaded_tokens":     st.KVD.DiskLoadedTokens,
+			"load_cost":         st.KVD.DiskLoadCost.String(),
+			"recomputes":        st.KVD.DiskRecomputes,
+			"recomputed_tokens": st.KVD.DiskRecomputedTokens,
+		},
 		"migration": map[string]any{
 			"enabled":           st.Migration.Enabled,
 			"threshold":         st.Migration.Threshold,
