@@ -10,7 +10,8 @@
 //	symphony-bench -exp scaling -gpus 1,2,4,8 -dispatch cache-affinity
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
-// tot, editor, batching, overhead, scaling, pressure, migrate, slo, all.
+// tot, editor, batching, overhead, scaling, pressure, migrate, slo,
+// restart, chaos, all.
 //
 // The scaling experiment sweeps the batch scheduler across simulated GPU
 // replica counts (-gpus, a comma-separated list) under a saturating
@@ -48,14 +49,22 @@
 // tier) or by recomputing every prefix from tokens. The bar is disk
 // mean TTFT at least 2x better than recompute with zero ErrNoSpace.
 //
+// The chaos experiment runs one seeded skewed workload fault-free and
+// again under each internal/chaos fault plan (failing/stalling
+// interconnect transfers, disk sync errors, lying syncs, torn writes,
+// mid-publish power loss, replica executor crashes), then power-fails
+// and recovers. The bar under every plan: zero lost or duplicated jobs,
+// exact billing (no token charged twice), an exact scheduler ledger,
+// and a clean recovered snapshot.
+//
 // The seeded experiments (fig3, editor, scaling, pressure, migrate,
-// slo, restart) accept -seed to shift their deterministic workload
-// streams: two runs with the same -seed produce byte-identical BENCH
-// JSON, and -seed 0 (the default) keeps each experiment's
+// slo, restart, chaos) accept -seed to shift their deterministic
+// workload streams: two runs with the same -seed produce byte-identical
+// BENCH JSON, and -seed 0 (the default) keeps each experiment's
 // recorded-baseline streams.
 //
-// The scaling, pressure, migrate, slo, and restart experiments also
-// write machine-readable BENCH_<exp>.json artifacts into -json-dir
+// The scaling, pressure, migrate, slo, restart, and chaos experiments
+// also write machine-readable BENCH_<exp>.json artifacts into -json-dir
 // (default "."; empty disables), seeding the perf trajectory the CI
 // bench gate (cmd/benchgate) judges regressions against; see the README
 // for the schema.
@@ -80,7 +89,7 @@ import (
 var experimentNames = []string{
 	"fig3", "toolcalls", "constrained", "speculative", "multiround",
 	"tot", "editor", "batching", "overhead", "scaling", "pressure",
-	"migrate", "slo", "restart",
+	"migrate", "slo", "restart", "chaos",
 }
 
 func main() {
@@ -100,9 +109,9 @@ func main() {
 	kvDiskGB := flag.Float64("kv-disk-gb", 0,
 		"durable disk KV tier size in GiB for -exp restart (0 = experiment default)")
 	jsonDir := flag.String("json-dir", ".",
-		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo (empty disables)")
+		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo/restart/chaos (empty disables)")
 	seed := flag.Int64("seed", 0,
-		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo); 0 keeps each experiment's recorded baseline")
+		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo, restart, chaos); 0 keeps each experiment's recorded baseline")
 	flag.Parse()
 
 	// Reject bad enumerated flag values up front, each with the list of
@@ -142,6 +151,7 @@ func main() {
 		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir, *seed) }},
 		{"slo", func(q bool) { runSLO(q, *jsonDir, *seed) }},
 		{"restart", func(q bool) { runRestart(q, *kvDiskGB, *jsonDir, *seed) }},
+		{"chaos", func(q bool) { runChaos(q, *kvDiskGB, *interconnectGbps, *jsonDir, *seed) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -343,6 +353,24 @@ func runRestart(quick bool, diskGB float64, jsonDir string, seed int64) {
 	tab := experiments.RestartTable(pts)
 	fmt.Println(tab.String())
 	writeBench(jsonDir, "restart", cfg, pts)
+}
+
+func runChaos(quick bool, diskGB, gbps float64, jsonDir string, seed int64) {
+	cfg := experiments.DefaultChaos()
+	if quick {
+		cfg = experiments.QuickChaos()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if diskGB > 0 {
+		cfg.DiskGB = diskGB
+	}
+	cfg.InterconnectGbps = gbps
+	pts := experiments.RunChaos(cfg)
+	tab := experiments.ChaosTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "chaos", cfg, pts)
 }
 
 // splitList parses a comma-separated flag value, trimming blanks.

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/model"
+)
+
+func newFaultSim(t *testing.T) (*FaultFS, *kvstore.SimFS, *Injector) {
+	t.Helper()
+	sim := kvstore.NewSimFS(nil, model.CostModel{})
+	inj := New(nil, 1)
+	return NewFaultFS(sim, inj), sim, inj
+}
+
+// mustDurable writes, syncs, and publishes one file fault-free.
+func mustDurable(t *testing.T, fs *FaultFS, name string, data []byte) {
+	t.Helper()
+	h, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSErrFailsBeforeInnerOp(t *testing.T) {
+	fs, sim, inj := newFaultSim(t)
+	inj.Arm(Rule{Point: "fs.create", Err: true})
+	if _, err := fs.Create("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create err = %v, want ErrInjected", err)
+	}
+	if names, _ := sim.List(); len(names) != 0 {
+		t.Fatalf("failed create reached the inner filesystem: %v", names)
+	}
+	// The rule was one-shot; the retry lands.
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+}
+
+func TestFaultFSTornWriteLandsHalf(t *testing.T) {
+	fs, sim, inj := newFaultSim(t)
+	h, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(Rule{Point: "file.write", Torn: true})
+	if _, err := h.WriteAt([]byte("12345678"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	ih, err := sim.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := ih.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4 {
+		t.Fatalf("inner size = %d after torn 8-byte write, want the 4-byte prefix", size)
+	}
+}
+
+func TestFaultFSLyingSyncRevealedByCrash(t *testing.T) {
+	fs, sim, inj := newFaultSim(t)
+	mustDurable(t, fs, "a", []byte("old!"))
+
+	inj.Arm(Rule{Point: "file.sync", Lie: true})
+	h, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte("new!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("lying sync must report success, got %v", err)
+	}
+
+	sim.Crash()
+	ih, err := sim.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := ih.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "old!" {
+		t.Fatalf("post-crash contents %q — the lied-about sync became durable", buf)
+	}
+}
+
+func TestFaultFSCrashFailsOpAndFencesHandles(t *testing.T) {
+	fs, _, inj := newFaultSim(t)
+	mustDurable(t, fs, "a", []byte("old!"))
+
+	h, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(Rule{Point: "file.sync", Crash: true})
+	if err := h.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("mid-crash sync err = %v, want ErrInjected", err)
+	}
+	// The machine died: the pre-crash handle is fenced from the next
+	// incarnation.
+	if err := h.Sync(); !errors.Is(err, kvstore.ErrStaleHandle) {
+		t.Fatalf("post-crash sync err = %v, want ErrStaleHandle", err)
+	}
+	if _, err := h.WriteAt([]byte("zomb"), 0); !errors.Is(err, kvstore.ErrStaleHandle) {
+		t.Fatalf("post-crash write err = %v, want ErrStaleHandle", err)
+	}
+	// A fresh handle through the fault layer works.
+	h2, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := h2.ReadAt(buf, 0); err != nil || string(buf) != "old!" {
+		t.Fatalf("fresh handle read = %q, %v", buf, err)
+	}
+}
+
+func TestFaultFSLyingSyncDir(t *testing.T) {
+	fs, sim, inj := newFaultSim(t)
+	mustDurable(t, fs, "a", []byte("old!"))
+
+	inj.Arm(Rule{Point: "fs.syncdir", Lie: true})
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		t.Fatalf("lying syncdir must report success, got %v", err)
+	}
+	sim.Crash()
+	if _, err := sim.Open("b"); !errors.Is(err, kvstore.ErrNotExist) {
+		t.Fatalf("rename survived the crash through a lying syncdir: %v", err)
+	}
+	if _, err := sim.Open("a"); err != nil {
+		t.Fatalf("original name lost: %v", err)
+	}
+}

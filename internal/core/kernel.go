@@ -121,6 +121,12 @@ type Config struct {
 	// across all of their processes (multi-tenant resource accounting,
 	// §6). Users absent from the map are unlimited.
 	UserQuotas map[string]int64
+	// CrashCheck, when non-nil, lets a fault injector crash-restart GPU
+	// replicas at iteration boundaries (see sched.Config.CrashCheck and
+	// internal/chaos). The kernel hooks the crash to also invalidate the
+	// dead replica's prefix-index entries so the migration engine stops
+	// routing to state that no longer exists.
+	CrashCheck func(replica int) bool
 }
 
 // DiskConfig configures the kernel's durable disk KV tier: a snapshot
@@ -247,7 +253,6 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		models:           cfg.Models,
 		defMod:           def,
 		fs:               fs,
-		sch:              sched.New(clk, schedCfg),
 		kvd:              daemon,
 		tok:              tok,
 		offloadThreshold: thr,
@@ -257,6 +262,21 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		quotas:           cfg.UserQuotas,
 		userUsage:        make(map[string]int64),
 	}
+	schedCfg.CrashCheck = cfg.CrashCheck
+	if cfg.CrashCheck != nil {
+		// Replica actors start inside sched.New, before the migrator is
+		// assembled below, so the crash hook reads k.mig under k.mu rather
+		// than capturing it.
+		schedCfg.OnCrash = func(id int) {
+			k.mu.Lock()
+			mig := k.mig
+			k.mu.Unlock()
+			if mig != nil {
+				mig.noteReplicaCrash(id)
+			}
+		}
+	}
+	k.sch = sched.New(clk, schedCfg)
 	k.spaceEv = clk.NewEvent()
 	k.fs.SetReleaseHook(k.kvReleased)
 	if cfg.Disk.Bytes > 0 {
@@ -276,7 +296,12 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		if ic == nil {
 			ic = netsim.DefaultInterconnect(clk)
 		}
-		k.mig = newMigrator(k, ic, cfg.MigrateThreshold)
+		mig := newMigrator(k, ic, cfg.MigrateThreshold)
+		// Written under k.mu: the crash hook above may already be racing to
+		// read it from a replica actor.
+		k.mu.Lock()
+		k.mig = mig
+		k.mu.Unlock()
 	}
 	return k
 }

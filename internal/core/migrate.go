@@ -161,6 +161,16 @@ type MigrationStats struct {
 	RefusedLocked   int64
 	RefusedInFlight int64
 	RefusedPressure int64
+	// TransferAborts counts migrations rolled back because the
+	// interconnect transfer failed: the destination reservation was
+	// released, the family stayed home, and the index was left unchanged.
+	TransferAborts int64
+	// ReplicaCrashes / InvalidatedRoots count crash-restart notifications
+	// from the scheduler and the prefix families they evicted from the
+	// index (their pages died with the replica; the next pred re-seeds
+	// them wherever it lands).
+	ReplicaCrashes   int64
+	InvalidatedRoots int64
 }
 
 // rootInfo is one prefix family's index entry.
@@ -307,6 +317,28 @@ func (x *prefixIndex) dropFileLocked(f *kvfs.File, root model.CtxHash) {
 	}
 }
 
+// invalidateHome evicts every family homed at the given replica,
+// dropping both the root entries and their file records (a dangling file
+// record whose root is gone would wedge observe). Returns the number of
+// families evicted. Used when a replica crash-restarts: its KV pages are
+// gone, so the index must stop routing affinity there.
+func (x *prefixIndex) invalidateHome(home int) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var victims []*kvfs.File
+	for f, rec := range x.files {
+		if ri, ok := x.roots[rec.root]; ok && ri.home == home {
+			victims = append(victims, f)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return x.files[victims[i]].seq < x.files[victims[j]].seq })
+	before := len(x.roots)
+	for _, f := range victims {
+		x.dropFileLocked(f, x.files[f].root)
+	}
+	return before - len(x.roots)
+}
+
 // migrator is the migration engine instance hanging off a kernel.
 type migrator struct {
 	k         *Kernel
@@ -322,15 +354,18 @@ type migrator struct {
 	// every family onto the momentarily-idlest replica.
 	pendingMove map[int]int
 
-	migrations      int64
-	migratedTokens  int64
-	migratedPages   int64
-	migrateTime     time.Duration
-	coldStarts      int64
-	recomputedTok   int64
-	refusedLocked   int64
-	refusedInFlight int64
-	refusedPressure int64
+	migrations       int64
+	migratedTokens   int64
+	migratedPages    int64
+	migrateTime      time.Duration
+	coldStarts       int64
+	recomputedTok    int64
+	refusedLocked    int64
+	refusedInFlight  int64
+	refusedPressure  int64
+	abortedTransfers int64
+	replicaCrashes   int64
+	invalidatedRoots int64
 }
 
 func newMigrator(k *Kernel, ic *netsim.Interconnect, threshold float64) *migrator {
@@ -473,6 +508,20 @@ func (m *migrator) transfer(c *Ctx, f *kvfs.File, root model.CtxHash, span kvfs.
 		m.mu.Unlock()
 		return false
 	}
+	// One-shot release guard: between ReserveMigration and here the pool
+	// holds a double residency (source copy plus reserved destination
+	// pages), and every exit — landed, aborted, or any error return added
+	// to this window later — must release exactly once or the pages leak
+	// for the kernel's lifetime. The deferred call covers paths that skip
+	// the explicit release.
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			k.fs.ReleaseMigration(span.Pages)
+		}
+	}
+	defer release()
 	m.mu.Lock()
 	m.pendingMove[to] += span.Tokens
 	m.mu.Unlock()
@@ -485,10 +534,19 @@ func (m *migrator) transfer(c *Ctx, f *kvfs.File, root model.CtxHash, span kvfs.
 	}()
 	start := k.clk.Now()
 	if err := m.ic.TransferPages(span.Pages, k.fs.PageBytes()); err != nil {
-		k.fs.ReleaseMigration(span.Pages) // abort: drop the destination copy
+		// Abort: the pages never reached the destination. Drop the
+		// reserved destination copy; the source copy, the family's home,
+		// and the prefix index are all unchanged.
+		release()
+		m.mu.Lock()
+		m.abortedTransfers++
+		m.mu.Unlock()
+		c.p.publish(ProcEvent{Kind: EventKVMigrate, Phase: "abort",
+			Text: fmt.Sprintf("%d tokens (%d pages), replica %d -> %d: %v",
+				span.Tokens, span.Pages, from, to, err)})
 		return false
 	}
-	k.fs.ReleaseMigration(span.Pages) // landed: the source copy is freed
+	release() // landed: the source copy is freed
 	d := k.clk.Now() - start
 	m.idx.setHome(root, to, k.clk.Now())
 	k.kvd.NoteMigrate(f, span.Tokens, d)
@@ -527,6 +585,20 @@ func (m *migrator) noteRefusal(in migrateDecision) {
 	}
 }
 
+// noteReplicaCrash is the kernel's OnCrash hook body: a replica
+// crash-restarted, so every prefix family the index homed there is gone
+// from GPU memory. Evicting the entries makes the next affinity pred
+// re-seed the family wherever it is dispatched instead of routing to
+// pages that no longer exist. Runs on the crashing replica's actor,
+// after its calls were requeued.
+func (m *migrator) noteReplicaCrash(id int) {
+	dropped := m.idx.invalidateHome(id)
+	m.mu.Lock()
+	m.replicaCrashes++
+	m.invalidatedRoots += int64(dropped)
+	m.mu.Unlock()
+}
+
 // pressureHigh reports whether the KV daemon is at or above its
 // high-water mark (always false without a daemon).
 func (m *migrator) pressureHigh() bool {
@@ -559,6 +631,9 @@ func (m *migrator) stats() MigrationStats {
 		RefusedLocked:    m.refusedLocked,
 		RefusedInFlight:  m.refusedInFlight,
 		RefusedPressure:  m.refusedPressure,
+		TransferAborts:   m.abortedTransfers,
+		ReplicaCrashes:   m.replicaCrashes,
+		InvalidatedRoots: m.invalidatedRoots,
 	}
 }
 

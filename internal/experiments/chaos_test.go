@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestChaosInvariants runs the quick sweep and checks the acceptance
+// bars of every cell: no job lost or duplicated, billing and the
+// scheduler's execution ledger exact, recovery landing every family —
+// plus per-cell evidence that the fault plan actually fired.
+func TestChaosInvariants(t *testing.T) {
+	cfg := QuickChaos()
+	for _, p := range RunChaos(cfg) {
+		if p.Completed != p.Jobs {
+			t.Errorf("%s: completed %d of %d jobs", p.Mode, p.Completed, p.Jobs)
+		}
+		if p.Lost != 0 || p.Duplicated != 0 {
+			t.Errorf("%s: lost=%d duplicated=%d, want 0/0", p.Mode, p.Lost, p.Duplicated)
+		}
+		if !p.BillingExact {
+			t.Errorf("%s: charged %d tokens, want exactly %d", p.Mode, p.ChargedTokens, p.ExpectedTokens)
+		}
+		if !p.TokensExact {
+			t.Errorf("%s: scheduler ledger not exact (executed != tokens + lost)", p.Mode)
+		}
+		if p.RecoveredFiles != cfg.Families || !p.RecoverOK {
+			t.Errorf("%s: recovered %d files (ok=%v), want %d clean",
+				p.Mode, p.RecoveredFiles, p.RecoverOK, cfg.Families)
+		}
+		if p.P99Inflation > 3 {
+			t.Errorf("%s: p99 inflated %.2fx over fault-free, want <= 3x", p.Mode, p.P99Inflation)
+		}
+		switch p.Mode {
+		case "none":
+			if p.Faults != 0 {
+				t.Errorf("none: %d faults fired in the fault-free cell", p.Faults)
+			}
+		case "interconnect":
+			if p.TransferAborts == 0 {
+				t.Errorf("interconnect: no transfer aborts — the fault plan never bit")
+			}
+		case "disk":
+			if p.CommitErrors == 0 {
+				t.Errorf("disk: no commit errors — the fault plan never bit")
+			}
+		case "replica-crash":
+			if p.Crashes == 0 || p.Requeued == 0 {
+				t.Errorf("replica-crash: crashes=%d requeued=%d — the fault plan never bit",
+					p.Crashes, p.Requeued)
+			}
+		}
+	}
+}
+
+// TestChaosDeterministic pins byte-reproducibility: twenty identically
+// seeded sweeps must marshal to identical JSON, faults and all.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := QuickChaos()
+	base, err := json.Marshal(RunChaos(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20; i++ {
+		b, err := json.Marshal(RunChaos(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(base) {
+			t.Fatalf("run %d diverged from run 0:\n%s\n%s", i, b, base)
+		}
+	}
+}

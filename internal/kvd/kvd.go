@@ -99,7 +99,8 @@ func (c Config) withDefaults() Config {
 // (the kernel republishes it as a kv_pressure process event).
 type Event struct {
 	// Phase is "offload", "restore", "spill" (host→disk demotion),
-	// "load" (disk→GPU re-prefill), or "park".
+	// "spill-rollback" (a spill undone because its snapshot commit
+	// failed), "load" (disk→GPU re-prefill), or "park".
 	Phase string
 	// Tokens is the number of KV tokens moved (zero for park).
 	Tokens int
@@ -153,11 +154,15 @@ type Stats struct {
 	MigratedTokens int64
 	MigratedCost   time.Duration
 	// Spills counts files demoted host→disk; SpilledTokens the KV tokens
-	// moved. Spills are free of tensor-transfer time by design: the
-	// snapshot store writes only token metadata, and the write is billed
-	// when the store commits.
-	Spills        int64
-	SpilledTokens int64
+	// moved, net of rollbacks. Spills are free of tensor-transfer time by
+	// design: the snapshot store writes only token metadata, and the
+	// write is billed when the store commits. SpillRollbacks counts
+	// spills undone because the snapshot commit failed: their pages moved
+	// back to host and were subtracted from SpilledTokens, so the ledger
+	// never counts pages as disk-resident without a durable copy.
+	Spills         int64
+	SpilledTokens  int64
+	SpillRollbacks int64
 	// DiskLoads / DiskLoadedTokens / DiskLoadCost record disk→GPU
 	// re-prefills from the snapshot store and the NVMe+PCIe time charged
 	// for them; DiskRecomputes / DiskRecomputedTokens count the times the
@@ -217,6 +222,7 @@ type Daemon struct {
 	migratedCost    time.Duration
 	spills          int64
 	spilledTokens   int64
+	spillRollbacks  int64
 	diskLoads       int64
 	diskLoadedTok   int64
 	diskLoadCost    time.Duration
@@ -273,8 +279,33 @@ func (d *Daemon) AttachDisk(dt *kvfs.DiskTier) {
 		return
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.disk = dt
+	d.mu.Unlock()
+	// Registered outside d.mu: the hook itself takes d.mu when a failed
+	// commit fires it.
+	dt.SetSpillRollback(d.rollbackSpill)
+}
+
+// rollbackSpill is the disk tier's commit-failure hook: tokens of f's
+// pages moved back host-ward because the snapshot generation that would
+// have made them durable never landed. The spill ledger reverses and the
+// owning process hears a "spill-rollback" kv_pressure event.
+func (d *Daemon) rollbackSpill(f *kvfs.File, tokens int) {
+	if d == nil || tokens <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.spillRollbacks++
+	d.spilledTokens -= int64(tokens)
+	var notify Notify
+	if e, ok := d.entries[f]; ok {
+		notify = e.notify
+	}
+	pol := d.policy.Name()
+	d.mu.Unlock()
+	if notify != nil {
+		notify(Event{Phase: "spill-rollback", Tokens: tokens, Policy: pol})
+	}
 }
 
 // DiskLoadCost estimates the virtual time to re-prefill tokens of KV
@@ -872,6 +903,7 @@ func (d *Daemon) Stats() Stats {
 		MigratedCost:         d.migratedCost,
 		Spills:               d.spills,
 		SpilledTokens:        d.spilledTokens,
+		SpillRollbacks:       d.spillRollbacks,
 		DiskLoads:            d.diskLoads,
 		DiskLoadedTokens:     d.diskLoadedTok,
 		DiskLoadCost:         d.diskLoadCost,

@@ -33,6 +33,18 @@ type DiskTier struct {
 	mu   sync.Mutex
 	next int64 // monotonic rec order, for deterministic GC sweeps
 	recs map[*File]*diskRec
+	// pending tracks tokens demoted host→disk since the last successful
+	// Commit: until a snapshot generation lands, those pages have no
+	// durable copy, so a failed Commit must move them back to host (see
+	// Commit) rather than leave the ledger counting them disk-resident.
+	// pendingOrder keeps rollback sweeps deterministic.
+	pending      map[*File]int
+	pendingOrder []*File
+	// rollback, when set, is notified (outside dt.mu) for every file whose
+	// spill a failed Commit undid, with the tokens returned to host. The
+	// KV daemon uses it to reverse its spill ledger and publish the
+	// matching kv_pressure event.
+	rollback func(f *File, tokens int)
 }
 
 // diskRec tracks one file's footprint in the snapshot store.
@@ -45,7 +57,20 @@ type diskRec struct {
 // NewDiskTier returns a disk tier spilling into store and accounting
 // against fs's DiskBytes.
 func NewDiskTier(fs *FS, store *kvstore.Store) *DiskTier {
-	return &DiskTier{fs: fs, store: store, recs: make(map[*File]*diskRec)}
+	return &DiskTier{
+		fs:      fs,
+		store:   store,
+		recs:    make(map[*File]*diskRec),
+		pending: make(map[*File]int),
+	}
+}
+
+// SetSpillRollback installs the commit-failure rollback hook (nil
+// clears it). The hook runs outside dt.mu.
+func (dt *DiskTier) SetSpillRollback(fn func(f *File, tokens int)) {
+	dt.mu.Lock()
+	dt.rollback = fn
+	dt.mu.Unlock()
 }
 
 // Store exposes the underlying snapshot store (for recovery and stats).
@@ -123,7 +148,16 @@ func (dt *DiskTier) Spill(f *File) (tokens int, err error) {
 	if err := dt.Put(f); err != nil {
 		return 0, err
 	}
-	return f.DemoteHostPages(), nil
+	tokens = f.DemoteHostPages()
+	if tokens > 0 {
+		dt.mu.Lock()
+		if _, ok := dt.pending[f]; !ok {
+			dt.pendingOrder = append(dt.pendingOrder, f)
+		}
+		dt.pending[f] += tokens
+		dt.mu.Unlock()
+	}
+	return tokens, nil
 }
 
 // Forget drops f's store record and releases its disk reservation, e.g.
@@ -142,11 +176,28 @@ func (dt *DiskTier) forgetLocked(f *File) {
 	dt.store.Drop(r.key)
 	dt.fs.releaseDisk(r.pages)
 	delete(dt.recs, f)
+	if _, ok := dt.pending[f]; ok {
+		// A removed file's pages are gone either way; nothing to roll back.
+		delete(dt.pending, f)
+		for i, pf := range dt.pendingOrder {
+			if pf == f {
+				dt.pendingOrder = append(dt.pendingOrder[:i], dt.pendingOrder[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Commit garbage-collects records of removed files and publishes the
 // store's entry set as a new snapshot generation. Must run in a
 // clock-actor context: the snapshot write bills virtual disk time.
+//
+// On a failed publish, spills since the last successful Commit are
+// rolled back: their pages have no durable copy, so leaving them on the
+// Disk tier would let a later PromoteDisk "read" bytes the device never
+// acknowledged. Each spilled file's pages move back to host memory (as
+// far as host space allows — any remainder stays pending for a retry)
+// and the SetSpillRollback hook reverses the spill ledger.
 func (dt *DiskTier) Commit() error {
 	dt.mu.Lock()
 	var dead []*File
@@ -163,7 +214,41 @@ func (dt *DiskTier) Commit() error {
 		dt.forgetLocked(f)
 	}
 	dt.mu.Unlock()
-	return dt.store.Commit()
+	err := dt.store.Commit()
+	dt.mu.Lock()
+	if err == nil {
+		// Every pending spill is durable now.
+		dt.pending = make(map[*File]int)
+		dt.pendingOrder = nil
+		dt.mu.Unlock()
+		return nil
+	}
+	victims := dt.pendingOrder
+	want := make([]int, len(victims))
+	for i, f := range victims {
+		want[i] = dt.pending[f]
+	}
+	dt.pending = make(map[*File]int)
+	dt.pendingOrder = nil
+	hook := dt.rollback
+	dt.mu.Unlock()
+	// Undemote outside dt.mu: UndemoteHostPages takes the FS lock and the
+	// hook takes the daemon's (lock order there is daemon→tier).
+	for i, f := range victims {
+		got := f.UndemoteHostPages(want[i])
+		if got > 0 && hook != nil {
+			hook(f, got)
+		}
+		if rest := want[i] - got; rest > 0 {
+			dt.mu.Lock()
+			if _, ok := dt.pending[f]; !ok {
+				dt.pendingOrder = append(dt.pendingOrder, f)
+			}
+			dt.pending[f] += rest
+			dt.mu.Unlock()
+		}
+	}
+	return err
 }
 
 // Import materializes a recovered snapshot entry as a named file whose

@@ -560,6 +560,36 @@ func (f *File) DemoteHostPages() (tokens int) {
 	return tokens
 }
 
+// UndemoteHostPages is DemoteHostPages' inverse, used to roll back a
+// spill whose snapshot commit failed: up to maxTokens of the file's
+// disk-tier pages move back to host memory, re-reserving host space
+// (stopping early if the host pool is full — the remainder stays on the
+// Disk tier for a commit retry to make durable). The store record and
+// its disk reservation are untouched; offGPU does not change (Host and
+// Disk pages both count against it). Returns the tokens moved.
+func (f *File) UndemoteHostPages(maxTokens int) (tokens int) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.removed {
+		return 0
+	}
+	for _, pg := range f.pages {
+		if tokens >= maxTokens {
+			break
+		}
+		if pg.tier != Disk || pg.ref > 1 {
+			continue
+		}
+		if err := fs.reserveLocked(Host); err != nil {
+			break
+		}
+		pg.tier = Host
+		tokens += len(pg.entries)
+	}
+	return tokens
+}
+
 // PromoteDisk moves the file's disk-tier pages to the GPU, returning the
 // tokens moved. The durable copy (and its disk reservation) stays behind
 // in the snapshot store. On ErrNoSpace the file is left partially

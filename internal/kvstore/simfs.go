@@ -22,13 +22,19 @@ import (
 // last Sync, namespace changes (creates, renames, removes) up to the last
 // SyncDir. Crash rolls the filesystem back to that durable state —
 // exactly the failure the snapshot store's temp-file + Rename + SyncDir
-// publish protocol must survive. The upcoming fault-injection layer wraps
-// the VFS interface and calls Crash at adversarial moments.
+// publish protocol must survive. Handles opened before a crash are fenced
+// (ErrStaleHandle): the process that held them died with the machine, so
+// a stale handle must never write into — let alone Sync into — the next
+// incarnation's files. The fault-injection layer (internal/chaos.FaultFS)
+// wraps the VFS interface and calls Crash at adversarial moments.
 type SimFS struct {
 	mu   sync.Mutex
 	clk  *simclock.Clock
 	cost model.CostModel
 
+	// epoch counts incarnations; handles carry the epoch they were opened
+	// in and are fenced once it passes.
+	epoch   int
 	files   map[string]*simFile // current namespace
 	durable map[string]*simFile // namespace as of the last SyncDir
 }
@@ -60,26 +66,31 @@ func (fs *SimFS) Bind(clk *simclock.Clock) {
 }
 
 // Crash simulates power loss: contents revert to the last Sync and the
-// namespace to the last SyncDir. Open handles keep working against the
-// post-crash state, as a restarted process would see.
+// namespace to the last SyncDir, and every open handle is fenced — the
+// next incarnation's files are fresh structures, so a pre-crash handle
+// can neither read the new state nor make its un-synced bytes durable by
+// Syncing after the "reboot". (Reusing the old structures here once let a
+// zombie handle WriteAt+Sync its dead process's buffered bytes straight
+// into the recovered filesystem.)
 func (fs *SimFS) Crash() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.epoch++
 	names := make([]string, 0, len(fs.durable))
 	for name := range fs.durable {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	old := fs.durable
 	fs.files = make(map[string]*simFile, len(names))
-	for _, name := range names {
-		f := fs.durable[name]
-		f.data = append([]byte(nil), f.synced...)
-		f.dirty = 0
-		fs.files[name] = f
-	}
 	fs.durable = make(map[string]*simFile, len(names))
 	for _, name := range names {
-		fs.durable[name] = fs.files[name]
+		f := &simFile{
+			data:   append([]byte(nil), old[name].synced...),
+			synced: append([]byte(nil), old[name].synced...),
+		}
+		fs.files[name] = f
+		fs.durable[name] = f
 	}
 }
 
@@ -94,19 +105,18 @@ func (fs *SimFS) sleep(d time.Duration) {
 }
 
 // Create makes (or truncates) a file. Metadata-only: the namespace change
-// is billed, like all durability, at SyncDir.
+// is billed, like all durability, at SyncDir. Truncation installs a fresh
+// structure rather than clearing the old one in place: until the next
+// SyncDir the durable namespace still points at the previous contents, so
+// a crash recovers them. (Clearing in place once made an un-synced
+// truncation crash-durable — data loss the publish protocol never asked
+// for.)
 func (fs *SimFS) Create(name string) (File, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	f, ok := fs.files[name]
-	if !ok {
-		f = &simFile{}
-		fs.files[name] = f
-	}
-	f.data = nil
-	f.synced = nil
-	f.dirty = 0
-	return &simHandle{fs: fs, f: f}, nil
+	f := &simFile{}
+	fs.files[name] = f
+	return &simHandle{fs: fs, f: f, epoch: fs.epoch}, nil
 }
 
 // Open opens an existing file.
@@ -117,7 +127,7 @@ func (fs *SimFS) Open(name string) (File, error) {
 	if !ok {
 		return nil, fmt.Errorf("kvstore: open %s: %w", name, ErrNotExist)
 	}
-	return &simHandle{fs: fs, f: f}, nil
+	return &simHandle{fs: fs, f: f, epoch: fs.epoch}, nil
 }
 
 // Rename moves a file over any existing target. Durable after SyncDir.
@@ -171,12 +181,26 @@ func (fs *SimFS) SyncDir() error {
 }
 
 type simHandle struct {
-	fs *SimFS
-	f  *simFile
+	fs    *SimFS
+	f     *simFile
+	epoch int // incarnation the handle was opened in
+}
+
+// staleLocked reports whether the filesystem crashed since the handle
+// was opened. Caller holds h.fs.mu.
+func (h *simHandle) staleLocked() error {
+	if h.epoch != h.fs.epoch {
+		return fmt.Errorf("kvstore: %w", ErrStaleHandle)
+	}
+	return nil
 }
 
 func (h *simHandle) ReadAt(p []byte, off int64) (int, error) {
 	h.fs.mu.Lock()
+	if serr := h.staleLocked(); serr != nil {
+		h.fs.mu.Unlock()
+		return 0, serr
+	}
 	var n int
 	var err error
 	if off < 0 || off > int64(len(h.f.data)) {
@@ -199,6 +223,9 @@ func (h *simHandle) WriteAt(p []byte, off int64) (int, error) {
 	}
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
+	if err := h.staleLocked(); err != nil {
+		return 0, err
+	}
 	end := off + int64(len(p))
 	if end > int64(len(h.f.data)) {
 		grown := make([]byte, end)
@@ -213,6 +240,9 @@ func (h *simHandle) WriteAt(p []byte, off int64) (int, error) {
 func (h *simHandle) Size() (int64, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
+	if err := h.staleLocked(); err != nil {
+		return 0, err
+	}
 	return int64(len(h.f.data)), nil
 }
 
@@ -220,6 +250,10 @@ func (h *simHandle) Size() (int64, error) {
 // bytes dirtied since the last Sync at disk write bandwidth.
 func (h *simHandle) Sync() error {
 	h.fs.mu.Lock()
+	if err := h.staleLocked(); err != nil {
+		h.fs.mu.Unlock()
+		return err
+	}
 	h.f.synced = append([]byte(nil), h.f.data...)
 	d := h.fs.cost.DiskWriteTime(h.f.dirty)
 	h.f.dirty = 0

@@ -1,0 +1,103 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+// TestCrashFencesOpenHandles pins the zombie-handle bug: a handle opened
+// before a crash belongs to a process that died with the machine, so
+// after the crash it must be fenced — its buffered writes can never be
+// made durable by Syncing into the next incarnation, and it can neither
+// read nor write the recovered files.
+func TestCrashFencesOpenHandles(t *testing.T) {
+	fs := NewSimFS(nil, model.CostModel{})
+	h, _ := fs.Create("log")
+	h.WriteAt([]byte("durable"), 0)
+	h.Sync()
+	fs.SyncDir()
+
+	// Un-synced bytes buffered on the pre-crash handle...
+	h.WriteAt([]byte("ZOMBIE!"), 0)
+	fs.Crash()
+
+	// ...must not be resurrectable: every operation on the handle fails.
+	if err := h.Sync(); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("post-crash sync = %v, want ErrStaleHandle", err)
+	}
+	if _, err := h.WriteAt([]byte("x"), 0); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("post-crash write = %v, want ErrStaleHandle", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("post-crash read = %v, want ErrStaleHandle", err)
+	}
+	if _, err := h.Size(); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("post-crash size = %v, want ErrStaleHandle", err)
+	}
+
+	h2, err := fs.Open("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := h2.ReadAt(buf, 0); err != nil || string(buf) != "durable" {
+		t.Fatalf("recovered contents %q, %v — want the last-synced bytes", buf, err)
+	}
+}
+
+// TestCrashFencingSurvivesBind pins the restart idiom: Bind moves the
+// disk to a new kernel's clock, and a handle leaked across incarnations
+// must stay fenced — re-binding is a reboot, not an amnesty.
+func TestCrashFencingSurvivesBind(t *testing.T) {
+	fs := NewSimFS(nil, model.CostModel{})
+	h, _ := fs.Create("log")
+	h.WriteAt([]byte("durable"), 0)
+	h.Sync()
+	fs.SyncDir()
+	h.WriteAt([]byte("ZOMBIE!"), 0)
+	fs.Crash()
+	fs.Bind(simclock.New())
+
+	if err := h.Sync(); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("stale handle synced after Bind: %v", err)
+	}
+	h2, _ := fs.Open("log")
+	buf := make([]byte, 7)
+	h2.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("contents %q after re-bind, want last-synced", buf)
+	}
+}
+
+// TestCreateKeepsDurableContentsUntilSyncDir pins the truncation bug:
+// re-Creating a published name truncates only the current namespace —
+// until the next SyncDir the durable namespace still points at the old
+// contents, so a crash must recover them, not an empty file.
+func TestCreateKeepsDurableContentsUntilSyncDir(t *testing.T) {
+	fs := NewSimFS(nil, model.CostModel{})
+	h, _ := fs.Create("snap")
+	h.WriteAt([]byte("generation-1"), 0)
+	h.Sync()
+	fs.SyncDir()
+
+	// Truncate-by-create, write, even Sync the new contents — but never
+	// SyncDir the namespace change.
+	h2, _ := fs.Create("snap")
+	h2.WriteAt([]byte("gen-2"), 0)
+	h2.Sync()
+	fs.Crash()
+
+	h3, err := fs.Open("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := h3.Size()
+	buf := make([]byte, size)
+	h3.ReadAt(buf, 0)
+	if string(buf) != "generation-1" {
+		t.Fatalf("post-crash contents %q, want the durable generation-1", buf)
+	}
+}

@@ -33,6 +33,10 @@ var (
 	ErrNotExist = errors.New("kvstore: file does not exist")
 	// ErrShortRead reports a ReadAt extending past the end of the file.
 	ErrShortRead = errors.New("kvstore: short read")
+	// ErrStaleHandle reports an operation on a handle opened before a
+	// crash: the process that held it is gone, so the handle is fenced
+	// from the filesystem's next incarnation.
+	ErrStaleHandle = errors.New("stale handle (opened before crash)")
 )
 
 // VFS is the filesystem abstraction the snapshot store runs on: a flat

@@ -7,6 +7,7 @@
 package netsim
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/simclock"
@@ -90,6 +91,29 @@ const (
 // of propagation plus serialization of every page at link bandwidth.
 type Interconnect struct {
 	link *Link
+
+	mu    sync.Mutex
+	fault func(pages int, bytes int64) TransferFault
+}
+
+// TransferFault is an injected outcome for one fabric transfer: Stall is
+// extra virtual latency charged to the transferring actor before the
+// outcome resolves, and Err (when non-nil) fails the transfer after the
+// stall — the caller sees a fabric drop and must roll back. The zero
+// value is a clean transfer.
+type TransferFault struct {
+	Stall time.Duration
+	Err   error
+}
+
+// SetFault installs a hook consulted once per TransferPages call, before
+// any fabric time is charged (nil clears it). The chaos harness uses it
+// to model interconnect stalls, drops, and partition windows; see
+// internal/chaos.
+func (ic *Interconnect) SetFault(fn func(pages int, bytes int64) TransferFault) {
+	ic.mu.Lock()
+	ic.fault = fn
+	ic.mu.Unlock()
 }
 
 // NewInterconnect returns a fabric link with the given RTT and bandwidth
@@ -128,10 +152,28 @@ func (ic *Interconnect) PageTransferTime(pages int, pageBytes int64) time.Durati
 }
 
 // TransferPages charges the calling actor for moving pages KV pages of
-// pageBytes each across the fabric.
+// pageBytes each across the fabric. An installed fault hook may stall the
+// transfer (extra fabric time, still charged) and then fail it; a failed
+// transfer never reaches the destination, so the caller's reserved
+// destination copy must be dropped.
 func (ic *Interconnect) TransferPages(pages int, pageBytes int64) error {
 	if pages <= 0 {
 		return nil
 	}
-	return ic.link.OneWay(int(int64(pages) * pageBytes))
+	bytes := int64(pages) * pageBytes
+	ic.mu.Lock()
+	fn := ic.fault
+	ic.mu.Unlock()
+	if fn != nil {
+		f := fn(pages, bytes)
+		if f.Stall > 0 {
+			if err := ic.link.clk.Sleep(f.Stall); err != nil {
+				return err
+			}
+		}
+		if f.Err != nil {
+			return f.Err
+		}
+	}
+	return ic.link.OneWay(int(bytes))
 }

@@ -171,6 +171,18 @@ type Config struct {
 	// AdmitMaxWait bounds how long one call may be deferred at admission
 	// (default 10ms); the gate sheds load, it must never starve a call.
 	AdmitMaxWait time.Duration
+	// CrashCheck, when non-nil, is consulted by each replica at every
+	// iteration boundary; returning true crash-restarts that executor: it
+	// loses all in-flight progress, its admitted and queued calls are
+	// requeued to surviving replicas (re-dispatched to itself when it is
+	// the only one), and it resumes serving empty. The chaos harness
+	// supplies this hook (see internal/chaos).
+	CrashCheck func(replica int) bool
+	// OnCrash, when non-nil, is invoked (from the crashing replica's
+	// actor, outside scheduler locks) after a crash-restart has requeued
+	// its calls; the kernel uses it to invalidate the replica's KV
+	// residency and prefix-index entries.
+	OnCrash func(replica int)
 }
 
 // ReplicaStats is a snapshot of one replica's counters.
@@ -187,6 +199,13 @@ type ReplicaStats struct {
 	AvgBatch    float64
 	AvgTokens   float64
 	Preemptions int64
+	// Crashes counts crash-restarts of this executor; Requeued is the
+	// number of calls its crashes pushed back for re-dispatch; LostTokens
+	// is the executed-but-unretired progress those crashes discarded
+	// (re-executed after requeue, never re-billed).
+	Crashes     int64
+	Requeued    int64
+	LostTokens  int64
 	GPUBusy     time.Duration
 	Utilization float64 // GPUBusy / elapsed virtual time
 	DelayMean   time.Duration
@@ -218,7 +237,9 @@ type Stats struct {
 	Calls  int64
 	Tokens int64
 	// ExecutedTokens sums the slices executed across replicas; it equals
-	// Tokens once all submitted calls have completed.
+	// Tokens + LostTokens once all submitted calls have completed —
+	// crash-discarded progress is re-executed, everything else exactly
+	// once.
 	ExecutedTokens int64
 	Batches        int64
 	Steps          int64
@@ -231,6 +252,11 @@ type Stats struct {
 	// Preemptions counts iteration-boundary preemptions: a mid-flight
 	// call descheduled because higher-lane work filled the step budget.
 	Preemptions int64
+	// Crashes, Requeued, and LostTokens aggregate the per-replica
+	// crash-restart counters.
+	Crashes    int64
+	Requeued   int64
+	LostTokens int64
 	// AdmitDeferred counts calls the pressure-aware admission gate held
 	// back at least once; AdmitWait is the total virtual time spent
 	// parked at admission.
@@ -256,6 +282,8 @@ type Scheduler struct {
 	pressure     func() float64
 	admitHW      float64
 	admitMaxWait time.Duration
+	crashCheck   func(int) bool
+	onCrash      func(int)
 
 	mu            sync.Mutex
 	calls         int64
@@ -289,6 +317,9 @@ type replica struct {
 	batches      int64
 	steps        int64
 	preemptions  int64
+	crashes      int64
+	requeued     int64
+	lostTokens   int64
 	batchW       metrics.Welford
 	tokensW      metrics.Welford
 	busy         time.Duration
@@ -325,6 +356,8 @@ func New(clk *simclock.Clock, cfg Config) *Scheduler {
 		pressure:     cfg.Pressure,
 		admitHW:      cfg.AdmitHighWater,
 		admitMaxWait: cfg.AdmitMaxWait,
+		crashCheck:   cfg.CrashCheck,
+		onCrash:      cfg.OnCrash,
 	}
 	for i := range s.laneDelay {
 		s.laneDelay[i] = metrics.NewHistogram()
@@ -412,6 +445,9 @@ func (s *Scheduler) Stats() Stats {
 			AvgBatch:    r.batchW.Mean(),
 			AvgTokens:   r.tokensW.Mean(),
 			Preemptions: r.preemptions,
+			Crashes:     r.crashes,
+			Requeued:    r.requeued,
+			LostTokens:  r.lostTokens,
 			GPUBusy:     r.busy,
 		}
 		batchSum += r.batchW.Sum()
@@ -426,6 +462,9 @@ func (s *Scheduler) Stats() Stats {
 		st.ExecutedTokens += rs.ExecTokens
 		st.Batches += rs.Batches
 		st.Steps += rs.Steps
+		st.Crashes += rs.Crashes
+		st.Requeued += rs.Requeued
+		st.LostTokens += rs.LostTokens
 		st.GPUBusy += rs.GPUBusy
 		st.Replicas = append(st.Replicas, rs)
 	}
@@ -610,9 +649,77 @@ func (r *replica) loop() {
 		for _, c := range r.queue.Drain() {
 			r.admit(c)
 		}
+		if r.s.crashCheck != nil && r.s.crashCheck(r.id) {
+			r.crash()
+			continue
+		}
 		if err := r.iterate(); err != nil {
 			return
 		}
+	}
+}
+
+// crash crash-restarts this executor at an iteration boundary: every
+// admitted call loses its executed-but-unretired progress (counted as
+// LostTokens and re-executed later — billing happened at submission, so
+// nothing is charged twice), KV pins taken for scheduled calls are
+// released through their preemption hooks, and all admitted and queued
+// calls are requeued round-robin across the surviving replicas (to this
+// replica itself when it is the only one). Each call's completion event
+// still fires exactly once, when the re-dispatched work finishes — the
+// submitting thread never observes the crash, so no job is lost or
+// duplicated.
+func (r *replica) crash() {
+	s := r.s
+	victims := make([]*call, len(r.active))
+	copy(victims, r.active)
+	r.active = r.active[:0]
+	queued := r.queue.Drain()
+
+	var lost int64
+	r.mu.Lock()
+	r.crashes++
+	r.requeued += int64(len(victims) + len(queued))
+	for _, c := range victims {
+		lost += int64(c.tokens - c.remaining)
+		r.inflight -= c.remaining
+	}
+	for _, c := range queued {
+		r.queuedTokens -= c.tokens
+	}
+	r.lostTokens += lost
+	// The executor restarts cold: its arrival-rate estimate dies with it.
+	r.haveArr = false
+	r.ewmaGap = 0
+	r.mu.Unlock()
+
+	// Release KV pins before the kernel invalidates residency. Only calls
+	// scheduled in the last iteration still hold a pin — already-preempted
+	// calls released theirs at preemption time, and un-started calls never
+	// took one. The resume half of the hook fires when the call is next
+	// packed, exactly as after an ordinary preemption.
+	for _, c := range victims {
+		if c.scheduled && c.onPreempt != nil {
+			c.onPreempt(true)
+		}
+		c.scheduled = false
+		c.remaining = c.tokens
+	}
+	if s.onCrash != nil {
+		s.onCrash(r.id)
+	}
+
+	all := append(victims, queued...)
+	n := len(s.replicas)
+	for i, c := range all {
+		t := r
+		if n > 1 {
+			t = s.replicas[(r.id+1+i%(n-1))%n]
+		}
+		t.mu.Lock()
+		t.queuedTokens += c.tokens
+		t.mu.Unlock()
+		t.queue.Put(c)
 	}
 }
 
