@@ -1,6 +1,6 @@
 // Package bench holds the repository-level benchmark harness: one
-// testing.B benchmark per paper artifact (see DESIGN.md §4 and
-// EXPERIMENTS.md), plus micro-benchmarks for the substrates.
+// testing.B benchmark per paper artifact (see docs/EXPERIMENTS.md),
+// plus micro-benchmarks for the substrates.
 //
 // The experiment benchmarks execute complete simulated runs and report
 // the paper's metrics through b.ReportMetric:

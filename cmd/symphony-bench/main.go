@@ -1,7 +1,8 @@
 // Command symphony-bench regenerates every figure and quantitative claim
 // of "Serve Programs, Not Prompts" (HOTOS '25) from this repository's
 // simulated reproduction. Each experiment prints the table(s) documented
-// in EXPERIMENTS.md; DESIGN.md §4 maps experiment IDs to paper artifacts.
+// in docs/EXPERIMENTS.md, which also maps experiment IDs to paper
+// artifacts and states each sweep's acceptance bar.
 //
 // Usage:
 //
@@ -11,7 +12,7 @@
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
 // tot, editor, batching, overhead, scaling, pressure, migrate, slo,
-// restart, chaos, all.
+// specdec, restart, chaos, all.
 //
 // The scaling experiment sweeps the batch scheduler across simulated GPU
 // replica counts (-gpus, a comma-separated list) under a saturating
@@ -42,6 +43,19 @@
 // 3x better than fifo at equal (±10%) aggregate token throughput with
 // zero starved batch calls.
 //
+// The slo experiment's heavy-prefill cells rerun the same population
+// with 4096-token batch prefills and add a fifo cell whose kernel slices
+// prefill to -prefill-chunk-sized pieces (Sarathi-style chunked prefill
+// with no priority policy at all), isolating what chunking alone buys.
+//
+// The specdec experiment serves a decode-heavy mixed load three ways —
+// the unchunked fifo executor, lanes with chunked prefill, and lanes
+// with executor-level speculative decoding (draft/verify inside each
+// GPU iteration, adaptive draft window) — and reports aggregate token
+// throughput, interactive p99 queue delay, and the speculation ledger
+// (rounds, drafted, accepted). The bar is >=1.5x throughput over the
+// unchunked executor with interactive p99 flat within ±10%.
+//
 // The restart experiment measures warm restarts from the durable disk
 // KV tier (internal/kvstore): a warm kernel checkpoints its named
 // prefixes and crashes, then a restarted kernel serves one request per
@@ -58,13 +72,13 @@
 // and a clean recovered snapshot.
 //
 // The seeded experiments (fig3, editor, scaling, pressure, migrate,
-// slo, restart, chaos) accept -seed to shift their deterministic
-// workload streams: two runs with the same -seed produce byte-identical
-// BENCH JSON, and -seed 0 (the default) keeps each experiment's
-// recorded-baseline streams.
+// slo, specdec, restart, chaos) accept -seed to shift their
+// deterministic workload streams: two runs with the same -seed produce
+// byte-identical BENCH JSON, and -seed 0 (the default) keeps each
+// experiment's recorded-baseline streams.
 //
-// The scaling, pressure, migrate, slo, restart, and chaos experiments
-// also write machine-readable BENCH_<exp>.json artifacts into -json-dir
+// The scaling, pressure, migrate, slo, specdec, restart, and chaos
+// experiments also write machine-readable BENCH_<exp>.json artifacts into -json-dir
 // (default "."; empty disables), seeding the perf trajectory the CI
 // bench gate (cmd/benchgate) judges regressions against; see the README
 // for the schema.
@@ -89,7 +103,7 @@ import (
 var experimentNames = []string{
 	"fig3", "toolcalls", "constrained", "speculative", "multiround",
 	"tot", "editor", "batching", "overhead", "scaling", "pressure",
-	"migrate", "slo", "restart", "chaos",
+	"migrate", "slo", "specdec", "restart", "chaos",
 }
 
 func main() {
@@ -109,9 +123,9 @@ func main() {
 	kvDiskGB := flag.Float64("kv-disk-gb", 0,
 		"durable disk KV tier size in GiB for -exp restart (0 = experiment default)")
 	jsonDir := flag.String("json-dir", ".",
-		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo/restart/chaos (empty disables)")
+		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo/specdec/restart/chaos (empty disables)")
 	seed := flag.Int64("seed", 0,
-		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo, restart, chaos); 0 keeps each experiment's recorded baseline")
+		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo, specdec, restart, chaos); 0 keeps each experiment's recorded baseline")
 	flag.Parse()
 
 	// Reject bad enumerated flag values up front, each with the list of
@@ -150,6 +164,7 @@ func main() {
 		{"pressure", func(q bool) { runPressure(q, *kvPolicy, *kvHighWater, *jsonDir, *seed) }},
 		{"migrate", func(q bool) { runMigrate(q, *interconnectGbps, *migrateThreshold, *jsonDir, *seed) }},
 		{"slo", func(q bool) { runSLO(q, *jsonDir, *seed) }},
+		{"specdec", func(q bool) { runSpecdec(q, *jsonDir, *seed) }},
 		{"restart", func(q bool) { runRestart(q, *kvDiskGB, *jsonDir, *seed) }},
 		{"chaos", func(q bool) { runChaos(q, *kvDiskGB, *interconnectGbps, *jsonDir, *seed) }},
 	} {
@@ -336,6 +351,20 @@ func runSLO(quick bool, jsonDir string, seed int64) {
 	tab := experiments.SLOTable(pts)
 	fmt.Println(tab.String())
 	writeBench(jsonDir, "slo", cfg, pts)
+}
+
+func runSpecdec(quick bool, jsonDir string, seed int64) {
+	cfg := experiments.DefaultSpecdec()
+	if quick {
+		cfg = experiments.QuickSpecdec()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	pts := experiments.RunSpecdec(cfg)
+	tab := experiments.SpecdecTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "specdec", cfg, pts)
 }
 
 func runRestart(quick bool, diskGB float64, jsonDir string, seed int64) {

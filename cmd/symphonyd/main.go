@@ -31,6 +31,17 @@
 // batch lane. Per-lane queue-delay histograms and preemption counters
 // are reported by /v1/stats under "lanes".
 //
+// Two executor options compose with either policy: -prefill-chunk caps
+// the prefill tokens one pred contributes per iteration (Sarathi-style
+// chunked prefill, effective even under fifo; 0 disables), and
+// -spec-decode runs greedy decode runs as draft/verify rounds against
+// the built-in draft-1b model inside each iteration — the draft
+// proposes -spec-window tokens (adaptively resized from the observed
+// acceptance rate), the target verifies them in one batched step, and
+// the accepted prefix plus one correction token retire together.
+// -spec-decode requires an iteration-level -priority-policy; the
+// speculation ledger is reported by /v1/stats under "spec".
+//
 // GPU KV memory is managed by the kernel memory daemon: -kv-policy
 // selects the eviction policy (lru, lfu, cost-aware, or none to disable)
 // and -kv-high-water the usage fraction that triggers reclaim. Under
@@ -98,6 +109,13 @@ func main() {
 		"GPU iteration ordering policy ("+strings.Join(sched.PriorityPolicyNames(), "|")+")")
 	stepQuantum := flag.Int("step-quantum", sched.DefaultQuantum,
 		"max tokens one pred call executes per GPU iteration under the lanes policy")
+	prefillChunk := flag.Int("prefill-chunk", 0,
+		"max prefill tokens one pred call contributes per GPU iteration, any priority policy (0 disables chunked prefill)")
+	specDecode := flag.Bool("spec-decode", false,
+		"speculatively decode generation runs on the draft-1b model inside each GPU iteration (requires an iteration-level -priority-policy)")
+	specWindow := flag.Int("spec-window", sched.DefaultSpecWindow,
+		fmt.Sprintf("initial draft window for -spec-decode (adapted between %d and %d from the observed acceptance rate)",
+			sched.DefaultSpecMinWindow, sched.DefaultSpecMaxWindow))
 	defaultPriority := flag.String("default-priority", "normal",
 		"scheduling lane for requests without a priority field (interactive|normal|batch)")
 	batchTenants := flag.String("batch-tenants", "",
@@ -123,6 +141,17 @@ func main() {
 	if lanes, ok := priority.(*sched.Lanes); ok {
 		lanes.SliceTokens = *stepQuantum
 	}
+	if *prefillChunk < 0 {
+		log.Fatalf("-prefill-chunk must be >= 0 (got %d; 0 disables chunking)", *prefillChunk)
+	}
+	if *specDecode && priority.Quantum() <= 0 {
+		log.Fatalf("-spec-decode requires an iteration-level priority policy (have %q; run-to-completion policies never reach a draft/verify boundary)\nvalid policies: %s",
+			*prioPolicy, strings.Join(iterationPolicies(), ", "))
+	}
+	if *specWindow < sched.DefaultSpecMinWindow || *specWindow > sched.DefaultSpecMaxWindow {
+		log.Fatalf("-spec-window must be between %d and %d (got %d)",
+			sched.DefaultSpecMinWindow, sched.DefaultSpecMaxWindow, *specWindow)
+	}
 	if _, err := sched.ParsePriority(*defaultPriority); err != nil {
 		log.Fatalf("-default-priority: %v", err)
 	}
@@ -138,6 +167,10 @@ func main() {
 			log.Fatalf("%v\nvalid KV policies: %s, none", err, strings.Join(kvd.PolicyNames(), ", "))
 		}
 	}
+	var specCfg *core.SpecConfig
+	if *specDecode {
+		specCfg = &core.SpecConfig{Draft: "draft-1b", Window: *specWindow}
+	}
 	clk := simclock.NewRealtime(*speedup)
 	target := model.New(model.Llama13B())
 	kernel := core.New(clk, core.Config{
@@ -148,6 +181,8 @@ func main() {
 		DefaultModel:     "llama-13b",
 		Policy:           sched.DefaultPoisson(),
 		PriorityPolicy:   priority,
+		PrefillChunk:     *prefillChunk,
+		Spec:             specCfg,
 		Replicas:         *gpus,
 		Dispatcher:       dispatcher,
 		Interconnect:     netsim.InterconnectFromGbps(clk, *interconnectGbps),
@@ -197,10 +232,28 @@ func main() {
 		DefaultPriority: *defaultPriority,
 		TenantPriority:  tenantPrio,
 	})
-	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s priority policy, %s kv policy",
+	specNote := "off"
+	if specCfg != nil {
+		specNote = fmt.Sprintf("%s w=%d", specCfg.Draft, *specWindow)
+	}
+	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s priority policy, %s kv policy, prefill chunk %d, spec decode %s",
 		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher(),
-		kernel.Scheduler().PriorityPolicy(), kernel.KVD().PolicyName())
+		kernel.Scheduler().PriorityPolicy(), kernel.KVD().PolicyName(),
+		kernel.Scheduler().PrefillChunk(), specNote)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// iterationPolicies lists the priority policies compatible with
+// -spec-decode: those that bound each call's per-iteration slice, so a
+// decode call actually reaches a draft/verify boundary every step.
+func iterationPolicies() []string {
+	var out []string
+	for _, name := range sched.PriorityPolicyNames() {
+		if p, err := sched.NewPriorityPolicy(name); err == nil && p.Quantum() > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
 }

@@ -299,8 +299,30 @@ func (c *Ctx) Pred(f *kvfs.File, toks []token.ID, positions []int) ([]model.Dist
 }
 
 // PredModel is Pred against a named model (e.g. a draft model for
-// speculative decoding).
+// library-level speculative decoding, internal/lip).
 func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positions []int) ([]model.Dist, error) {
+	return c.pred(modelName, f, toks, positions, false)
+}
+
+// PredDecode is Pred for an autoregressive decode run against the
+// default model: the tokens are generated sequentially, so the GPU
+// advances the call one token per iteration instead of prefilling the
+// whole run in one slice — unless the kernel was configured with
+// speculative decoding (Config.Spec), in which case each iteration
+// drafts a window on the cheap draft model and verifies it inside the
+// call's own step, retiring the accepted run plus one correction token
+// at a time. Billing is identical to Pred (every token charged once at
+// submission); only the step-loop physics differ.
+//
+// The caller supplies the run's tokens up front — the simulated model
+// is deterministic, so a greedy chain is known at submission (see
+// lip.GenerateDecode); the GPU step only decides when the results exist.
+func (c *Ctx) PredDecode(f *kvfs.File, toks []token.ID, positions []int) ([]model.Dist, error) {
+	return c.pred("", f, toks, positions, true)
+}
+
+// pred is the shared body of the pred-family system calls.
+func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []int, decode bool) ([]model.Dist, error) {
 	k := c.p.k
 	m, err := k.Model(modelName)
 	if err != nil {
@@ -340,14 +362,19 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 	// reads these pages — and released after the scheduler returns; on
 	// failure it is released so self-preemption can swap the file out.
 	var tails []model.CtxHash
+	// preTail is the context hash ahead of this call's tokens: the
+	// speculation bitmap's first position draws from it.
+	preTail := f.Tail()
 	// extra counts disk-resident prefix tokens ensureResident chose to
 	// recompute rather than load: they ride in this call's batch entry so
 	// the GPU step pays their prefill (see migrate.go's recompute path).
+	// A decode call has no prefill entry to fold a rebuild into, so for
+	// it disk pages are always loaded, never recomputed.
 	extra := 0
 	predAlloc := func() error {
 		k.kvd.Pin(f)
 		k.kvd.MaybeReclaim()
-		n, err := c.ensureResident(f, m.Config().Cost, true)
+		n, err := c.ensureResident(f, m.Config().Cost, !decode)
 		if err != nil {
 			k.kvd.Unpin(f)
 			return err
@@ -408,6 +435,28 @@ func (c *Ctx) PredModel(modelName string, f *kvfs.File, toks []token.ID, positio
 		Tokens:   len(toks) + extra,
 		Affinity: uint64(f.Root()),
 		Priority: c.p.prio,
+		Decode:   decode,
+	}
+	if decode && k.spec != nil && call.Model == k.defMod && len(toks) > 1 {
+		// Precompute the acceptance bitmap from the deterministic model
+		// pair: position i is accepted iff the draft's greedy proposal
+		// from the context ahead of it matches the target's. The executor
+		// consults it round by round; no randomness at execution time, so
+		// identically-seeded runs speculate identically.
+		draft := k.models[k.spec.Draft]
+		accept := make([]bool, len(toks)-1)
+		h := preTail
+		for i := range accept {
+			accept[i] = draft.Next(h).Greedy() == m.Next(h).Greedy()
+			h = tails[i]
+		}
+		call.Spec = &sched.SpecCall{
+			Draft:     k.spec.Draft,
+			Window:    k.spec.Window,
+			MinWindow: k.spec.MinWindow,
+			MaxWindow: k.spec.MaxWindow,
+			Accept:    accept,
+		}
 	}
 	if k.kvd.Enabled() {
 		// Keep scheduler preemption coherent with the memory daemon: a

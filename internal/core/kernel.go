@@ -90,6 +90,17 @@ type Config struct {
 	// (strict interactive/normal/batch lanes with aging). See
 	// sched.NewPriorityPolicy for selection by name.
 	PriorityPolicy sched.PriorityPolicy
+	// PrefillChunk, when > 0, bounds the prefill tokens one pred call may
+	// execute per GPU iteration independently of the priority policy's
+	// quantum (see sched.Config.PrefillChunk). It is what keeps a monster
+	// prompt from holding an iteration hostage under the fifo
+	// run-to-completion policy.
+	PrefillChunk int
+	// Spec, when non-nil, enables executor-level speculative decoding for
+	// decode runs (Ctx.PredDecode) against the default model: each GPU
+	// iteration drafts a window of tokens on the named draft model and
+	// verifies them inside the call's own step. See sched.SpecCall.
+	Spec *SpecConfig
 	// Replicas is the number of simulated GPU executors behind the batch
 	// scheduler; values < 1 mean one.
 	Replicas int
@@ -129,6 +140,22 @@ type Config struct {
 	CrashCheck func(replica int) bool
 }
 
+// SpecConfig configures executor-level speculative decoding: the
+// promotion of internal/lip's draft/verify loop into the GPU step loop.
+// It applies to decode runs submitted through Ctx.PredDecode against the
+// default model; plain Pred prefills and explicitly-named models are
+// never speculated.
+type SpecConfig struct {
+	// Draft names the registered model that proposes tokens. It must be
+	// a different (cheaper) model than the default one.
+	Draft string
+	// Window, MinWindow, and MaxWindow seed and bound the adaptive draft
+	// window; zero values take the sched defaults (4, 1, 8).
+	Window    int
+	MinWindow int
+	MaxWindow int
+}
+
 // DiskConfig configures the kernel's durable disk KV tier: a snapshot
 // store of named KV prefixes that survives a (simulated) server restart
 // and is re-prefilled from lazily, plus the third level the KV memory
@@ -158,6 +185,7 @@ type Kernel struct {
 	kvd    *kvd.Daemon
 	disk   *kvfs.DiskTier // nil without a disk tier
 	mig    *migrator      // nil without a migration-aware dispatcher
+	spec   *SpecConfig    // nil without speculative decoding
 	tok    *token.Tokenizer
 
 	offloadThreshold time.Duration
@@ -235,10 +263,28 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 	if err != nil {
 		panic(err)
 	}
+	var spec *SpecConfig
+	if cfg.Spec != nil {
+		// Speculation config errors are programmer errors, caught here
+		// like the model-map ones above; the flag layer gives users the
+		// friendly rejection (cmd/symphonyd).
+		if _, ok := cfg.Models[cfg.Spec.Draft]; !ok {
+			panic(fmt.Sprintf("core: spec draft model %q not in Models", cfg.Spec.Draft))
+		}
+		if cfg.Spec.Draft == def {
+			panic("core: spec draft model is the default model")
+		}
+		if cfg.PriorityPolicy != nil && cfg.PriorityPolicy.Quantum() <= 0 {
+			panic(fmt.Sprintf("core: speculative decoding requires an iteration-level priority policy (have %q)", cfg.PriorityPolicy.Name()))
+		}
+		s := *cfg.Spec
+		spec = &s
+	}
 	schedCfg := sched.Config{
 		Models:         costs,
 		Policy:         cfg.Policy,
 		PriorityPolicy: cfg.PriorityPolicy,
+		PrefillChunk:   cfg.PrefillChunk,
 		Replicas:       cfg.Replicas,
 		Dispatcher:     cfg.Dispatcher,
 	}
@@ -254,6 +300,7 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		defMod:           def,
 		fs:               fs,
 		kvd:              daemon,
+		spec:             spec,
 		tok:              tok,
 		offloadThreshold: thr,
 		tracer:           cfg.Tracer,
@@ -470,6 +517,10 @@ func (k *Kernel) Model(name string) (*model.Model, error) {
 
 // DefaultModelName returns the name Pred resolves "" to.
 func (k *Kernel) DefaultModelName() string { return k.defMod }
+
+// SpecDecode returns the speculative-decoding configuration, or nil when
+// disabled.
+func (k *Kernel) SpecDecode() *SpecConfig { return k.spec }
 
 // RegisterTool makes a tool callable from LIPs.
 func (k *Kernel) RegisterTool(name string, t Tool) {

@@ -89,6 +89,10 @@ type migrateDecision struct {
 	// Cooldown is true while the family's last move is younger than
 	// migrateCooldown.
 	Cooldown bool
+	// NoRecompute forbids the cold-start choice: a decode call advances
+	// autoregressively, so it has no prefill batch entry to fold a
+	// prefix rebuild into — the prefix either transfers or stays.
+	NoRecompute bool
 	// TransferCost is the interconnect time to copy the file's pages;
 	// RecomputeCost the marginal prefill compute to rebuild them inside
 	// the call's own batch (tokens × PerToken — the batch is already
@@ -126,13 +130,13 @@ func decide(in migrateDecision) migrateChoice {
 	}
 	// Cost-benefit: moving must save more queueing than the move costs.
 	moveCost := in.TransferCost
-	if in.RecomputeCost < moveCost {
+	if !in.NoRecompute && in.RecomputeCost < moveCost {
 		moveCost = in.RecomputeCost
 	}
 	if in.GapBenefit <= moveCost {
 		return choiceStay
 	}
-	if in.RecomputeCost < in.TransferCost {
+	if !in.NoRecompute && in.RecomputeCost < in.TransferCost {
 		return choiceRecompute
 	}
 	return choiceMigrate
@@ -465,6 +469,7 @@ func (m *migrator) route(c *Ctx, f *kvfs.File, call *sched.Call, cost model.Cost
 		TransferCost:  m.ic.PageTransferTime(span.Pages, m.k.fs.PageBytes()),
 		RecomputeCost: time.Duration(prefixTokens) * cost.PerToken,
 		GapBenefit:    time.Duration(loads[home]-loads[minID]) * cost.PerToken,
+		NoRecompute:   call.Decode,
 	}
 	choice := decide(in)
 	if choice != choiceStay && spanErr != nil {

@@ -59,6 +59,16 @@ type SLOConfig struct {
 	// StarveAfter is the queue delay above which a batch call counts as
 	// starved; the acceptance bar is zero starved calls.
 	StarveAfter time.Duration
+	// HeavyPrefill, when positive, adds a second sweep mode: the same
+	// mixed population but with batch prefills this large — the
+	// head-of-line hazard chunked prefill exists to defuse. The heavy
+	// cells compare fifo, fifo with Config.PrefillChunk set to
+	// HeavyChunk (Sarathi-style slicing with no priority policy at
+	// all), and lanes.
+	HeavyPrefill int
+	// HeavyChunk is the kernel PrefillChunk of the heavy fifo+chunk
+	// cell.
+	HeavyChunk int
 	// Seed offsets the deterministic workload streams (see seedBase); 0
 	// and 1 both select the recorded baseline.
 	Seed int64
@@ -82,6 +92,8 @@ func DefaultSLO() SLOConfig {
 		StepTokens:          512,
 		AgeAfter:            250 * time.Millisecond,
 		StarveAfter:         3 * time.Second,
+		HeavyPrefill:        4096,
+		HeavyChunk:          256,
 		Seed:                1,
 	}
 }
@@ -92,13 +104,20 @@ func QuickSLO() SLOConfig {
 	cfg.InteractiveRequests = 6
 	cfg.BatchRequests = 2
 	cfg.BatchDecode = 64
+	cfg.HeavyPrefill = 2048
 	return cfg
 }
 
-// SLOPoint is one priority policy's measurement over the mixed workload.
+// SLOPoint is one cell's measurement. Mode is "mixed" for the standard
+// sweep and "heavy" for the HeavyPrefill cells; Policy is the cell label
+// ("fifo", "fifo+chunk", "lanes") — together they are the point's
+// benchgate identity.
 type SLOPoint struct {
+	Mode   string
 	Policy string
 	GPUs   int
+	// Chunk is the kernel PrefillChunk the cell ran with (0 = disabled).
+	Chunk int
 	// Completed counts client processes that finished every request;
 	// Errors everything else.
 	Completed int
@@ -116,8 +135,8 @@ type SLOPoint struct {
 	BatchP50       time.Duration
 	BatchP99       time.Duration
 	BatchMax       time.Duration
-	// InteractiveP99Speedup is the fifo baseline's interactive p99 over
-	// this row's (1 for the baseline itself; higher is better).
+	// InteractiveP99Speedup is the same-mode fifo baseline's interactive
+	// p99 over this row's (1 for the baseline itself; higher is better).
 	InteractiveP99Speedup float64
 	// Preemptions counts iteration-boundary preemptions; Starved counts
 	// batch calls whose queue delay exceeded StarveAfter (aging must keep
@@ -127,24 +146,34 @@ type SLOPoint struct {
 	AvgBatch    float64
 }
 
-// RunSLO sweeps the priority policies over the mixed workload.
+// RunSLO sweeps the priority policies over the mixed workload, then —
+// when HeavyPrefill is set — the heavy-prefill cells that isolate what
+// chunked prefill alone buys.
 func RunSLO(cfg SLOConfig) []SLOPoint {
 	var out []SLOPoint
 	for _, policy := range cfg.Policies {
-		out = append(out, runSLOCell(cfg, policy))
+		out = append(out, runSLOCell(cfg, "mixed", policy, policy, cfg.BatchPrefill, 0))
 	}
-	// Interactive p99 speedup is relative to the first fifo row, if any.
-	var base time.Duration
+	if cfg.HeavyPrefill > 0 {
+		out = append(out,
+			runSLOCell(cfg, "heavy", "fifo", "fifo", cfg.HeavyPrefill, 0),
+			runSLOCell(cfg, "heavy", "fifo+chunk", "fifo", cfg.HeavyPrefill, cfg.HeavyChunk),
+			runSLOCell(cfg, "heavy", "lanes", "lanes", cfg.HeavyPrefill, 0),
+		)
+	}
+	// Interactive p99 speedup is relative to the same mode's fifo row.
+	base := map[string]time.Duration{}
 	for _, p := range out {
 		if p.Policy == "fifo" {
-			base = p.InteractiveP99
-			break
+			if _, ok := base[p.Mode]; !ok {
+				base[p.Mode] = p.InteractiveP99
+			}
 		}
 	}
 	for i := range out {
 		out[i].InteractiveP99Speedup = 1
-		if base > 0 && out[i].InteractiveP99 > 0 {
-			out[i].InteractiveP99Speedup = float64(base) / float64(out[i].InteractiveP99)
+		if b := base[out[i].Mode]; b > 0 && out[i].InteractiveP99 > 0 {
+			out[i].InteractiveP99Speedup = float64(b) / float64(out[i].InteractiveP99)
 		}
 	}
 	return out
@@ -182,8 +211,10 @@ func sloRequest(ctx *core.Ctx, prefill, decode, seed int) error {
 	return nil
 }
 
-// runSLOCell measures one priority policy over the mixed workload.
-func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
+// runSLOCell measures one cell: a priority policy (labelled label) over
+// the mixed workload with the given batch prefill size and kernel
+// prefill chunk.
+func runSLOCell(cfg SLOConfig, mode, label, policy string, batchPrefill, chunk int) SLOPoint {
 	prioPolicy, err := sched.NewPriorityPolicy(policy)
 	if err != nil {
 		panic(err)
@@ -201,6 +232,7 @@ func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
 		FS:             fig3FS(64<<30, model.A100Llama13B().KVBytesPerToken),
 		Policy:         sched.DefaultPoisson(),
 		PriorityPolicy: prioPolicy,
+		PrefillChunk:   chunk,
 		Replicas:       cfg.GPUs,
 		Dispatcher:     sched.LeastLoaded{},
 	})
@@ -260,7 +292,7 @@ func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
 					return err
 				}
 				for r := 0; r < cfg.BatchRequests; r++ {
-					if err := sloRequest(ctx, cfg.BatchPrefill, cfg.BatchDecode, seedBase(cfg.Seed)+5000000+c*200000+r*2000); err != nil {
+					if err := sloRequest(ctx, batchPrefill, cfg.BatchDecode, seedBase(cfg.Seed)+5000000+c*200000+r*2000); err != nil {
 						return err
 					}
 				}
@@ -273,8 +305,10 @@ func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
 
 	st := k.Stats()
 	pt := SLOPoint{
-		Policy:      policy,
+		Mode:        mode,
+		Policy:      label,
 		GPUs:        cfg.GPUs,
+		Chunk:       chunk,
 		Completed:   completed,
 		Errors:      errors,
 		Makespan:    lastDone,
@@ -304,11 +338,11 @@ func runSLOCell(cfg SLOConfig, policy string) SLOPoint {
 func SLOTable(points []SLOPoint) metrics.Table {
 	t := metrics.Table{
 		Title: "SLO (§4.4): per-lane queue delay under iteration-level priority scheduling",
-		Headers: []string{"policy", "done", "tok/s", "inter-p50", "inter-p99", "p99-speedup",
+		Headers: []string{"mode", "policy", "done", "tok/s", "inter-p50", "inter-p99", "p99-speedup",
 			"batch-p50", "batch-p99", "batch-max", "preempt", "starved", "avg-batch"},
 	}
 	for _, p := range points {
-		t.AddRow(p.Policy, fmt.Sprintf("%d/%d", p.Completed, p.Completed+p.Errors),
+		t.AddRow(p.Mode, p.Policy, fmt.Sprintf("%d/%d", p.Completed, p.Completed+p.Errors),
 			fmt.Sprintf("%.0f", p.Throughput),
 			p.InteractiveP50.Round(time.Microsecond), p.InteractiveP99.Round(time.Microsecond),
 			fmt.Sprintf("%.1fx", p.InteractiveP99Speedup),

@@ -12,17 +12,20 @@ func TestSLOAcceptance(t *testing.T) {
 	}
 	cfg := QuickSLO()
 	pts := RunSLO(cfg)
-	if len(pts) != 2 || pts[0].Policy != "fifo" || pts[1].Policy != "lanes" {
+	if len(pts) != 5 || pts[0].Policy != "fifo" || pts[1].Policy != "lanes" ||
+		pts[0].Mode != "mixed" || pts[1].Mode != "mixed" {
 		t.Fatalf("unexpected sweep shape: %+v", pts)
 	}
 	fifo, lanes := pts[0], pts[1]
 	wantClients := cfg.InteractiveClients + cfg.BatchClients
 	for _, p := range pts {
 		if p.Completed != wantClients || p.Errors != 0 {
-			t.Fatalf("%s: %d/%d clients completed, %d errors", p.Policy, p.Completed, wantClients, p.Errors)
+			t.Fatalf("%s/%s: %d/%d clients completed, %d errors", p.Mode, p.Policy, p.Completed, wantClients, p.Errors)
 		}
+	}
+	for _, p := range pts[:2] {
 		if p.PredTokens != fifo.PredTokens {
-			t.Fatalf("cells ran unequal work: fifo %d tokens, %s %d", fifo.PredTokens, p.Policy, p.PredTokens)
+			t.Fatalf("mixed cells ran unequal work: fifo %d tokens, %s %d", fifo.PredTokens, p.Policy, p.PredTokens)
 		}
 	}
 	// The headline: iteration-level lanes vs run-to-completion fifo. The
@@ -49,5 +52,36 @@ func TestSLOAcceptance(t *testing.T) {
 	}
 	if fifo.Preemptions != 0 {
 		t.Fatalf("fifo cell recorded %d preemptions", fifo.Preemptions)
+	}
+
+	// Heavy-prefill cells: what chunked prefill alone buys under fifo,
+	// with no priority policy in play at all.
+	hFifo, hChunk, hLanes := pts[2], pts[3], pts[4]
+	if hFifo.Mode != "heavy" || hChunk.Policy != "fifo+chunk" || hLanes.Policy != "lanes" {
+		t.Fatalf("unexpected heavy cells: %+v", pts[2:])
+	}
+	for _, p := range pts[2:] {
+		if p.PredTokens != hFifo.PredTokens {
+			t.Fatalf("heavy cells ran unequal work: fifo %d tokens, %s %d", hFifo.PredTokens, p.Policy, p.PredTokens)
+		}
+	}
+	// Slicing the monolithic HeavyPrefill step to HeavyChunk must cut
+	// interactive p99 at least 1.5x (the quick sweep measures ~2.7x)
+	// while aggregate throughput stays flat within ±10%.
+	if hChunk.InteractiveP99*3 > hFifo.InteractiveP99*2 {
+		t.Fatalf("heavy interactive p99 %v chunked vs %v unchunked: improvement below 1.5x",
+			hChunk.InteractiveP99, hFifo.InteractiveP99)
+	}
+	if ratio := hChunk.Throughput / hFifo.Throughput; ratio < 0.90 || ratio > 1.10 {
+		t.Fatalf("heavy throughput not flat: chunked %.0f vs unchunked %.0f tok/s (%.1f%%)",
+			hChunk.Throughput, hFifo.Throughput, 100*(ratio-1))
+	}
+	// Chunking is pure slicing — it must not have engaged preemption —
+	// and an actual priority policy must still beat it on latency.
+	if hChunk.Preemptions != 0 {
+		t.Fatalf("fifo+chunk cell recorded %d preemptions", hChunk.Preemptions)
+	}
+	if hLanes.InteractiveP99 >= hChunk.InteractiveP99 {
+		t.Fatalf("lanes p99 %v not better than fifo+chunk p99 %v", hLanes.InteractiveP99, hChunk.InteractiveP99)
 	}
 }

@@ -1,0 +1,197 @@
+package lip
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/simclock"
+	"repro/internal/token"
+)
+
+// specHarness is like harness but enables executor-level speculative
+// decoding on the kernel (default lanes policy, so decode calls qualify).
+func specHarness(t *testing.T, body core.Program) *core.Kernel {
+	t.Helper()
+	clk := simclock.New()
+	target := model.New(model.Llama13B())
+	k := core.New(clk, core.Config{
+		Models: map[string]*model.Model{
+			"llama-13b": target,
+			"draft":     model.New(model.AlignedDraft(target, 0.85)),
+		},
+		DefaultModel: "llama-13b",
+		Spec:         &core.SpecConfig{Draft: "draft"},
+	})
+	done := make(chan error, 1)
+	go func() {
+		clk.Go("driver", func() {
+			p := k.Submit("u", body)
+			done <- p.Wait()
+		})
+		clk.WaitQuiescent()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("LIP failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("stalled: %v", clk.Snapshot())
+	}
+	clk.Shutdown()
+	return k
+}
+
+// decodeRun prefills prompt and runs GenerateDecode, recording the result.
+func decodeRun(prompt string, maxTokens int, dst *GenResult) core.Program {
+	return func(ctx *core.Ctx) error {
+		kv, _ := ctx.KvAnon()
+		s := NewSession(ctx, kv)
+		if _, err := s.Prefill(prompt); err != nil {
+			return err
+		}
+		res, err := GenerateDecode(s, DecodeOptions{MaxTokens: maxTokens})
+		if err != nil {
+			return err
+		}
+		*dst = res
+		return nil
+	}
+}
+
+func TestGenerateDecodeMatchesGenerate(t *testing.T) {
+	const prompt = "a prompt whose greedy continuation we compute two ways"
+	const max = 40
+	var stepwise GenResult
+	harness(t, func(ctx *core.Ctx) error {
+		kv, _ := ctx.KvAnon()
+		s := NewSession(ctx, kv)
+		if _, err := s.Prefill(prompt); err != nil {
+			return err
+		}
+		res, err := Generate(s, GenOptions{MaxTokens: max})
+		if err != nil {
+			return err
+		}
+		stepwise = res
+		return nil
+	})
+	var decoded GenResult
+	harness(t, decodeRun(prompt, max, &decoded))
+	if len(decoded.Tokens) != len(stepwise.Tokens) {
+		t.Fatalf("lengths differ: decode %d vs stepwise %d", len(decoded.Tokens), len(stepwise.Tokens))
+	}
+	for i := range decoded.Tokens {
+		if decoded.Tokens[i] != stepwise.Tokens[i] {
+			t.Fatalf("token %d differs: %d vs %d", i, decoded.Tokens[i], stepwise.Tokens[i])
+		}
+	}
+	if decoded.HitEOS != stepwise.HitEOS {
+		t.Errorf("HitEOS %v vs %v", decoded.HitEOS, stepwise.HitEOS)
+	}
+}
+
+func TestGenerateDecodeUnderSpecMatchesPlain(t *testing.T) {
+	const prompt = "speculative decoding must not change greedy results"
+	const max = 48
+	var plain, spec GenResult
+	harness(t, decodeRun(prompt, max, &plain))
+	k := specHarness(t, decodeRun(prompt, max, &spec))
+	if len(plain.Tokens) != len(spec.Tokens) {
+		t.Fatalf("lengths differ: plain %d vs spec %d", len(plain.Tokens), len(spec.Tokens))
+	}
+	for i := range plain.Tokens {
+		if plain.Tokens[i] != spec.Tokens[i] {
+			t.Fatalf("token %d differs under spec", i)
+		}
+	}
+	st := k.Scheduler().Stats()
+	if len(plain.Tokens) > 1 && st.SpecRounds == 0 {
+		t.Error("spec kernel ran no speculative rounds")
+	}
+	if st.SpecAccepted > st.SpecDrafted {
+		t.Errorf("accepted %d > drafted %d", st.SpecAccepted, st.SpecDrafted)
+	}
+}
+
+func TestGenerateDecodeChunkedStreaming(t *testing.T) {
+	harness(t, func(ctx *core.Ctx) error {
+		kv, _ := ctx.KvAnon()
+		s := NewSession(ctx, kv)
+		if _, err := s.Prefill("stream this generation in small chunks"); err != nil {
+			return err
+		}
+		base := kv.Len()
+		var streamed []token.ID
+		res, err := GenerateDecode(s, DecodeOptions{
+			MaxTokens: 30,
+			Chunk:     4,
+			Stream:    func(tok token.ID) { streamed = append(streamed, tok) },
+		})
+		if err != nil {
+			return err
+		}
+		if len(streamed) != len(res.Tokens) {
+			t.Fatalf("streamed %d tokens, result has %d", len(streamed), len(res.Tokens))
+		}
+		for i := range streamed {
+			if streamed[i] != res.Tokens[i] {
+				t.Fatalf("stream order broken at %d", i)
+			}
+		}
+		if kv.Len() != base+len(res.Tokens) {
+			t.Errorf("KV grew by %d, generated %d", kv.Len()-base, len(res.Tokens))
+		}
+		return nil
+	})
+}
+
+func TestGenerateDecodeStopLeavesFinalTokenUncommitted(t *testing.T) {
+	harness(t, func(ctx *core.Ctx) error {
+		kv, _ := ctx.KvAnon()
+		s := NewSession(ctx, kv)
+		if _, err := s.Prefill("stop after the third token"); err != nil {
+			return err
+		}
+		base := kv.Len()
+		n := 0
+		res, err := GenerateDecode(s, DecodeOptions{
+			MaxTokens: 20,
+			Stop:      func(token.ID) bool { n++; return n == 3 },
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.Tokens) != 3 {
+			t.Fatalf("generated %d tokens, want 3", len(res.Tokens))
+		}
+		// Matching Generate: the stop token is reported but not committed.
+		if kv.Len() != base+2 {
+			t.Errorf("KV grew by %d, want 2", kv.Len()-base)
+		}
+		return nil
+	})
+}
+
+func TestGenerateDecodeValidation(t *testing.T) {
+	harness(t, func(ctx *core.Ctx) error {
+		kv, _ := ctx.KvAnon()
+		s := NewSession(ctx, kv)
+		if _, err := GenerateDecode(s, DecodeOptions{MaxTokens: 5}); !errors.Is(err, ErrNoDist) {
+			t.Errorf("before prefill: %v", err)
+		}
+		if _, err := GenerateDecode(s, DecodeOptions{}); err == nil {
+			t.Error("MaxTokens 0 accepted")
+		}
+		if _, err := s.Prefill("p"); err != nil {
+			return err
+		}
+		if _, err := GenerateDecode(s.WithModel("draft"), DecodeOptions{MaxTokens: 5}); err == nil {
+			t.Error("non-default model accepted")
+		}
+		return nil
+	})
+}

@@ -273,19 +273,29 @@ func execStmt(ctx *core.Ctx, st Stmt, sessions map[string]*lip.Session,
 				return fail(err)
 			}
 		}
-		var sampler *lip.Sampler
-		if st.Temperature > 0 {
-			sampler = &lip.Sampler{Temperature: st.Temperature, Seed: st.Seed}
+		// Stream each committed token to subscribers so a v2
+		// client observes generation incrementally.
+		stream := func(t token.ID) {
+			ctx.PublishToken(ctx.Detokenize([]token.ID{t}))
 		}
-		res, err := lip.Generate(sess, lip.GenOptions{
-			MaxTokens: st.MaxTokens,
-			Sampler:   sampler,
-			// Stream each committed token to subscribers so a v2
-			// client observes generation incrementally.
-			Stream: func(t token.ID) {
-				ctx.PublishToken(ctx.Detokenize([]token.ID{t}))
-			},
-		})
+		var res lip.GenResult
+		var err error
+		if st.Temperature > 0 {
+			res, err = lip.Generate(sess, lip.GenOptions{
+				MaxTokens: st.MaxTokens,
+				Sampler:   &lip.Sampler{Temperature: st.Temperature, Seed: st.Seed},
+				Stream:    stream,
+			})
+		} else {
+			// Greedy generation is a decode run: the executor advances
+			// it one token — or one verified draft window, under
+			// -spec-decode — per GPU iteration instead of paying a
+			// scheduling round trip per token.
+			res, err = lip.GenerateDecode(sess, lip.DecodeOptions{
+				MaxTokens: st.MaxTokens,
+				Stream:    stream,
+			})
+		}
 		if err != nil {
 			return fail(err)
 		}

@@ -25,6 +25,15 @@ type Call struct {
 	// ordinary callers leave it false.
 	Routed bool
 	Target int
+	// Decode marks the call as an autoregressive decode run: its tokens
+	// depend on each other, so the executor advances it one token per
+	// iteration (sequential physics) instead of slicing it like a
+	// prefill — unless Spec is set, in which case accepted draft tokens
+	// let one iteration retire several positions at once.
+	Decode bool
+	// Spec, when non-nil on a Decode call, enables executor-level
+	// speculative decoding for it (see SpecCall in spec.go).
+	Spec *SpecCall
 	// OnPreempt, when non-nil, is invoked from the replica executor at
 	// iteration boundaries: with true when the scheduler deschedules the
 	// call mid-flight (higher-lane work filled the step), with false when

@@ -57,6 +57,12 @@ type call struct {
 	onPreempt func(bool) time.Duration
 	done      *simclock.Event
 
+	// decode marks an autoregressive decode run (one token of progress
+	// per iteration unless spec speculation accepts more); spec is the
+	// executor-side speculative-decoding state, nil for plain calls.
+	decode bool
+	spec   *specState
+
 	// started: the call has executed at least one slice (its queue delay
 	// is recorded when it first steps). scheduled: it was packed into the
 	// most recent iteration; a started, unfinished call that loses its
@@ -153,6 +159,14 @@ type Config struct {
 	// nil means DefaultLanes (strict lanes with aging). See
 	// NewPriorityPolicy for selection by name.
 	PriorityPolicy PriorityPolicy
+	// PrefillChunk, when > 0, bounds the prefill tokens one non-decode
+	// call may execute per iteration, independently of the priority
+	// policy's quantum (the tighter of the two wins). It is the
+	// Sarathi-style chunked-prefill knob: under the fifo
+	// run-to-completion policy — whose quantum is unbounded — it is the
+	// only thing stopping a monster prompt from holding an entire
+	// iteration hostage while decodes queue behind it. <= 0 disables.
+	PrefillChunk int
 	// Replicas is the number of independent GPU executors; values < 1
 	// mean one (the paper's single-GPU setting).
 	Replicas int
@@ -203,13 +217,19 @@ type ReplicaStats struct {
 	// number of calls its crashes pushed back for re-dispatch; LostTokens
 	// is the executed-but-unretired progress those crashes discarded
 	// (re-executed after requeue, never re-billed).
-	Crashes     int64
-	Requeued    int64
-	LostTokens  int64
-	GPUBusy     time.Duration
-	Utilization float64 // GPUBusy / elapsed virtual time
-	DelayMean   time.Duration
-	DelayP99    time.Duration
+	Crashes  int64
+	Requeued int64
+	// SpecRounds counts draft/verify rounds this executor ran;
+	// SpecDrafted and SpecAccepted are the draft tokens proposed and
+	// accepted across them (their ratio is the realized acceptance rate).
+	SpecRounds   int64
+	SpecDrafted  int64
+	SpecAccepted int64
+	LostTokens   int64
+	GPUBusy      time.Duration
+	Utilization  float64 // GPUBusy / elapsed virtual time
+	DelayMean    time.Duration
+	DelayP99     time.Duration
 }
 
 // LaneStats is one priority lane's aggregate view across replicas. Delay
@@ -257,6 +277,11 @@ type Stats struct {
 	Crashes    int64
 	Requeued   int64
 	LostTokens int64
+	// SpecRounds, SpecDrafted, and SpecAccepted aggregate the
+	// speculative-decoding counters across replicas.
+	SpecRounds   int64
+	SpecDrafted  int64
+	SpecAccepted int64
 	// AdmitDeferred counts calls the pressure-aware admission gate held
 	// back at least once; AdmitWait is the total virtual time spent
 	// parked at admission.
@@ -270,14 +295,15 @@ type Stats struct {
 // executors: one actor per replica that runs the iteration loop and
 // charges virtual time per step, fed by a dispatcher.
 type Scheduler struct {
-	clk        *simclock.Clock
-	models     map[string]model.CostModel
-	policy     Policy
-	prio       PriorityPolicy
-	dispatcher Dispatcher
-	replicas   []*replica
-	delayHist  *metrics.Histogram // aggregate queue delay across replicas
-	laneDelay  [NumLanes]*metrics.Histogram
+	clk          *simclock.Clock
+	models       map[string]model.CostModel
+	policy       Policy
+	prio         PriorityPolicy
+	prefillChunk int
+	dispatcher   Dispatcher
+	replicas     []*replica
+	delayHist    *metrics.Histogram // aggregate queue delay across replicas
+	laneDelay    [NumLanes]*metrics.Histogram
 
 	pressure     func() float64
 	admitHW      float64
@@ -320,6 +346,9 @@ type replica struct {
 	crashes      int64
 	requeued     int64
 	lostTokens   int64
+	specRounds   int64
+	specDrafted  int64
+	specAccepted int64
 	batchW       metrics.Welford
 	tokensW      metrics.Welford
 	busy         time.Duration
@@ -346,11 +375,15 @@ func New(clk *simclock.Clock, cfg Config) *Scheduler {
 	if cfg.AdmitMaxWait <= 0 {
 		cfg.AdmitMaxWait = 10 * time.Millisecond
 	}
+	if cfg.PrefillChunk < 0 {
+		cfg.PrefillChunk = 0
+	}
 	s := &Scheduler{
 		clk:          clk,
 		models:       cfg.Models,
 		policy:       cfg.Policy,
 		prio:         cfg.PriorityPolicy,
+		prefillChunk: cfg.PrefillChunk,
 		dispatcher:   cfg.Dispatcher,
 		delayHist:    metrics.NewHistogram(),
 		pressure:     cfg.Pressure,
@@ -383,6 +416,10 @@ func (s *Scheduler) Dispatcher() string { return s.dispatcher.Name() }
 
 // PriorityPolicy reports the active priority policy's name.
 func (s *Scheduler) PriorityPolicy() string { return s.prio.Name() }
+
+// PrefillChunk reports the per-iteration prefill-slice bound; 0 when
+// chunked prefill is disabled.
+func (s *Scheduler) PrefillChunk() int { return s.prefillChunk }
 
 // QueueDelay exposes the aggregate histogram of time calls spent queued
 // before their first token executed, across all replicas and lanes.
@@ -436,19 +473,22 @@ func (s *Scheduler) Stats() Stats {
 		// run ahead of now and utilization stays <= 1.
 		rNow := s.clk.Now()
 		rs := ReplicaStats{
-			ID:          r.id,
-			Calls:       r.calls,
-			Tokens:      r.tokens,
-			ExecTokens:  r.execTokens,
-			Batches:     r.batches,
-			Steps:       r.steps,
-			AvgBatch:    r.batchW.Mean(),
-			AvgTokens:   r.tokensW.Mean(),
-			Preemptions: r.preemptions,
-			Crashes:     r.crashes,
-			Requeued:    r.requeued,
-			LostTokens:  r.lostTokens,
-			GPUBusy:     r.busy,
+			ID:           r.id,
+			Calls:        r.calls,
+			Tokens:       r.tokens,
+			ExecTokens:   r.execTokens,
+			Batches:      r.batches,
+			Steps:        r.steps,
+			AvgBatch:     r.batchW.Mean(),
+			AvgTokens:    r.tokensW.Mean(),
+			Preemptions:  r.preemptions,
+			Crashes:      r.crashes,
+			Requeued:     r.requeued,
+			SpecRounds:   r.specRounds,
+			SpecDrafted:  r.specDrafted,
+			SpecAccepted: r.specAccepted,
+			LostTokens:   r.lostTokens,
+			GPUBusy:      r.busy,
 		}
 		batchSum += r.batchW.Sum()
 		batchN += float64(r.batchW.N())
@@ -464,6 +504,9 @@ func (s *Scheduler) Stats() Stats {
 		st.Steps += rs.Steps
 		st.Crashes += rs.Crashes
 		st.Requeued += rs.Requeued
+		st.SpecRounds += rs.SpecRounds
+		st.SpecDrafted += rs.SpecDrafted
+		st.SpecAccepted += rs.SpecAccepted
 		st.LostTokens += rs.LostTokens
 		st.GPUBusy += rs.GPUBusy
 		st.Replicas = append(st.Replicas, rs)
@@ -492,6 +535,13 @@ func (s *Scheduler) SubmitCall(meta Call) error {
 	}
 	if meta.Tokens <= 0 {
 		return fmt.Errorf("sched: nonpositive token count %d", meta.Tokens)
+	}
+	var spec *specState
+	if meta.Spec != nil {
+		var err error
+		if spec, err = s.newSpecState(meta); err != nil {
+			return err
+		}
 	}
 	prio := meta.Priority.clamp()
 	now := s.clk.Now()
@@ -524,6 +574,8 @@ func (s *Scheduler) SubmitCall(meta Call) error {
 		lastRun:   now,
 		onPreempt: meta.OnPreempt,
 		done:      s.clk.NewEvent(),
+		decode:    meta.Decode,
+		spec:      spec,
 	}
 	r.queue.Put(c)
 	return c.done.Wait()
@@ -704,6 +756,11 @@ func (r *replica) crash() {
 		}
 		c.scheduled = false
 		c.remaining = c.tokens
+		if c.spec != nil {
+			// The re-executed incarnation re-learns its acceptance rate
+			// from scratch, exactly like the first one did.
+			c.spec.reset()
+		}
 	}
 	if s.onCrash != nil {
 		s.onCrash(r.id)
@@ -754,6 +811,16 @@ func (r *replica) iterate() error {
 	// Packing is strict — when a slice no longer fits the budget the step
 	// is cut, so a lower lane can never leapfrog a higher one by being
 	// smaller.
+	//
+	// Each packed call contributes two token counts that the plain
+	// prefill path keeps equal but speculation splits: compute is the new
+	// positions the forward pass processes (what the step costs and what
+	// fills the budget), progress is the positions that retire (what
+	// ExecutedTokens and remaining move by). A prefill slice computes and
+	// retires the same tokens; a plain decode call computes and retires
+	// exactly one; a spec round computes its draft window but retires the
+	// accepted run plus the verify pass's correction token — progress can
+	// exceed compute, which is the whole point.
 	stepModel := ranked[0].model
 	cost := s.models[stepModel]
 	budget := cost.MaxBatchTokens
@@ -762,28 +829,99 @@ func (r *replica) iterate() error {
 	}
 	quantum := s.prio.Quantum()
 	var selected []*call
-	var slices []int
+	var progress, compute []int
+	var specDraft []int // drafted tokens this round, 0 = no spec round
 	var stepCalls []model.BatchCall
-	stepTok := 0
+	stepCompute, stepProgress := 0, 0
 	for _, c := range ranked {
 		if c.model != stepModel {
 			continue
 		}
-		slice := c.remaining
-		if quantum > 0 && slice > quantum {
-			slice = quantum
+		var prog, comp, drafted int
+		switch {
+		case !c.decode:
+			// Prefill slice: the tighter of the policy quantum and the
+			// chunked-prefill bound.
+			slice := c.remaining
+			if quantum > 0 && slice > quantum {
+				slice = quantum
+			}
+			if s.prefillChunk > 0 && slice > s.prefillChunk {
+				slice = s.prefillChunk
+			}
+			prog, comp = slice, slice
+		case c.spec != nil && c.remaining > 1:
+			// Draft/verify round: the draft proposes up to window tokens
+			// (never past the run's final position — that one always
+			// comes from a verify pass), the target computes them all,
+			// and the leading accepted run plus one correction/bonus
+			// token retires.
+			pos := c.tokens - c.remaining
+			effW := c.spec.window
+			if effW > c.remaining-1 {
+				effW = c.remaining - 1
+			}
+			acc := 0
+			for acc < effW && c.spec.accept[pos+acc] {
+				acc++
+			}
+			prog, comp, drafted = acc+1, effW, effW
+		default:
+			// Plain autoregressive decode: one token per iteration.
+			prog, comp = 1, 1
 		}
 		// An oversized slice still runs when it is the step's first call;
 		// otherwise the budget cuts the step here.
-		if len(selected) > 0 && stepTok+slice > budget {
+		if len(selected) > 0 && stepCompute+comp > budget {
 			break
 		}
 		selected = append(selected, c)
-		slices = append(slices, slice)
-		stepCalls = append(stepCalls, model.BatchCall{NewTokens: slice})
-		stepTok += slice
-		if stepTok >= budget {
+		progress = append(progress, prog)
+		compute = append(compute, comp)
+		specDraft = append(specDraft, drafted)
+		stepCalls = append(stepCalls, model.BatchCall{NewTokens: comp})
+		stepCompute += comp
+		stepProgress += prog
+		if stepCompute >= budget {
 			break
+		}
+	}
+
+	// Draft passes are serialized ahead of the target step: every spec
+	// call's draft round r proposes its r-th token in one batched draft
+	// forward pass, so round r's pass carries every spec call whose
+	// window reaches r. Draft models are visited in first-packed order —
+	// no map iteration, identical every run.
+	var draftCost time.Duration
+	var draftOrder []string
+	draftRounds := make(map[string][]int)
+	for i, c := range selected {
+		if specDraft[i] == 0 {
+			continue
+		}
+		name := c.spec.draft
+		if _, ok := draftRounds[name]; !ok {
+			draftOrder = append(draftOrder, name)
+		}
+		draftRounds[name] = append(draftRounds[name], specDraft[i])
+	}
+	for _, name := range draftOrder {
+		dc := s.models[name]
+		counts := draftRounds[name]
+		maxR := 0
+		for _, n := range counts {
+			if n > maxR {
+				maxR = n
+			}
+		}
+		for round := 1; round <= maxR; round++ {
+			n := 0
+			for _, cnt := range counts {
+				if cnt >= round {
+					n++
+				}
+			}
+			draftCost += dc.KernelOverhead + time.Duration(n)*(dc.PerSequence+dc.PerToken)
 		}
 	}
 
@@ -828,7 +966,7 @@ func (r *replica) iterate() error {
 		c.scheduled = true
 	}
 
-	d := cost.StepTime(stepCalls) + resumeCost
+	d := cost.StepTime(stepCalls) + draftCost + resumeCost
 	r.mu.Lock()
 	r.busyUntil = now + d
 	r.mu.Unlock()
@@ -838,10 +976,17 @@ func (r *replica) iterate() error {
 		r.busy += d
 		r.batches++
 		r.steps++
-		r.execTokens += int64(stepTok)
+		r.execTokens += int64(stepProgress)
 		r.batchW.Add(float64(len(selected)))
-		r.tokensW.Add(float64(stepTok))
-		r.inflight -= stepTok
+		r.tokensW.Add(float64(stepCompute))
+		r.inflight -= stepProgress
+		for i := range selected {
+			if specDraft[i] > 0 {
+				r.specRounds++
+				r.specDrafted += int64(specDraft[i])
+				r.specAccepted += int64(progress[i] - 1)
+			}
+		}
 	}
 	r.busyUntil = 0
 	r.mu.Unlock()
@@ -854,7 +999,13 @@ func (r *replica) iterate() error {
 	live := r.active[:0]
 	finished := make([]*call, 0, len(selected))
 	for i, c := range selected {
-		c.remaining -= slices[i]
+		c.remaining -= progress[i]
+		if specDraft[i] > 0 {
+			// Fold the round's acceptance into the adaptive window:
+			// consistent acceptance widens speculation, wasted drafts
+			// shrink it toward plain decode.
+			c.spec.observe(specDraft[i], progress[i]-1)
+		}
 	}
 	for _, c := range r.active {
 		if c.remaining <= 0 {
@@ -874,7 +1025,14 @@ func (r *replica) iterate() error {
 	for _, c := range finished {
 		// Lane delay is the call's queueing delay: total time in the
 		// scheduler minus the step time it would have cost running alone.
-		solo := s.models[c.model].StepTime([]model.BatchCall{{NewTokens: c.tokens}})
+		// Alone, a prefill is one pass; a decode run is one sequential
+		// pass per token (without speculation — spec's win shows up as
+		// negative-clamped delay rather than inflating the baseline).
+		m := s.models[c.model]
+		solo := m.StepTime([]model.BatchCall{{NewTokens: c.tokens}})
+		if c.decode {
+			solo = time.Duration(c.tokens) * m.StepTime([]model.BatchCall{{NewTokens: 1}})
+		}
 		d := end - c.queuedAt - solo
 		if d < 0 {
 			d = 0

@@ -1,0 +1,151 @@
+package sched
+
+import "fmt"
+
+// SpecCall configures executor-level speculative decoding for one decode
+// call. It is the promotion of internal/lip's SpeculativeGenerate from
+// library code (where the draft and verify passes are separate pred
+// syscalls, each paying its own scheduling round trip) into the GPU step
+// loop itself: each iteration, the executor charges a draft pass that
+// proposes up to Window tokens on the cheap Draft model, then verifies
+// them inside the call's own slice of the target step. Accepted draft
+// tokens plus the verify pass's one correction/bonus token all retire in
+// that single iteration, so per-step decode throughput multiplies by the
+// expected accepted-run length instead of being pinned at one token.
+//
+// Acceptance is not simulated with randomness at execution time: the
+// kernel precomputes the Accept bitmap from the deterministic model pair
+// (draft greedy token == target greedy token, position by position), so
+// identically-seeded runs make identical speculation decisions.
+type SpecCall struct {
+	// Draft names the registered draft model whose cost profile the
+	// executor charges for draft passes. It must be a different (cheaper)
+	// model than the call's own.
+	Draft string
+	// Window is the initial draft window: how many tokens the draft
+	// model proposes per iteration. The executor adapts it between
+	// MinWindow and MaxWindow from the observed acceptance rate —
+	// shrinking when speculation is being wasted, growing when the draft
+	// is consistently right. Zero values default to DefaultSpecWindow
+	// and [DefaultSpecMinWindow, DefaultSpecMaxWindow].
+	Window    int
+	MinWindow int
+	MaxWindow int
+	// Accept[i] reports whether the draft's greedy proposal for the
+	// call's i-th decode position matches the target's. A spec round
+	// starting at position p accepts the leading run of true values in
+	// Accept[p:p+window] and takes its correction token from the verify
+	// pass. Length must be at least Tokens-1 (the final position never
+	// needs a draft — the plain verify step produces it).
+	Accept []bool
+}
+
+// Default draft-window bounds: a 4-token window is the classic
+// sweet spot for ~0.8 acceptance, and the adaptation range keeps the
+// draft from either degenerating to plain decode or speculating past
+// what one iteration can verify.
+const (
+	DefaultSpecWindow    = 4
+	DefaultSpecMinWindow = 1
+	DefaultSpecMaxWindow = 8
+)
+
+// specState is the executor-side speculation state of one call. It is
+// touched only by the owning replica actor.
+type specState struct {
+	draft      string
+	window     int // current adaptive draft window
+	initWindow int // reset target after a crash-restart
+	minWindow  int
+	maxWindow  int
+	accept     []bool
+	// ewma is the acceptance-rate estimate driving window adaptation;
+	// ewmaInit records whether a round has seeded it yet.
+	ewma     float64
+	ewmaInit bool
+}
+
+// Window-adaptation constants: the EWMA reacts fast (alpha 0.5 — a
+// couple of bad rounds matter more than ancient history), the window
+// grows additively while the draft is consistently accepted and halves
+// when speculation is mostly wasted.
+const (
+	specEWMAAlpha  = 0.5
+	specGrowAbove  = 0.8
+	specShrinkWhen = 0.5
+)
+
+// observe folds one spec round's acceptance into the adaptive window.
+func (sp *specState) observe(drafted, accepted int) {
+	if drafted <= 0 {
+		return
+	}
+	rate := float64(accepted) / float64(drafted)
+	if !sp.ewmaInit {
+		sp.ewma = rate
+		sp.ewmaInit = true
+	} else {
+		sp.ewma = specEWMAAlpha*rate + (1-specEWMAAlpha)*sp.ewma
+	}
+	switch {
+	case sp.ewma >= specGrowAbove && sp.window < sp.maxWindow:
+		sp.window++
+	case sp.ewma < specShrinkWhen && sp.window > sp.minWindow:
+		sp.window = sp.window / 2
+		if sp.window < sp.minWindow {
+			sp.window = sp.minWindow
+		}
+	}
+}
+
+// reset returns speculation to its submission state after a
+// crash-restart discards the call's progress: the re-executed call
+// re-learns its acceptance rate exactly as the first incarnation did, so
+// requeued work stays deterministic.
+func (sp *specState) reset() {
+	sp.window = sp.initWindow
+	sp.ewma = 0
+	sp.ewmaInit = false
+}
+
+// newSpecState validates a submitted SpecCall against the call that
+// carries it and builds the executor-side state.
+func (s *Scheduler) newSpecState(meta Call) (*specState, error) {
+	sp := meta.Spec
+	if !meta.Decode {
+		return nil, fmt.Errorf("sched: speculative decoding requires a decode call (Spec set but Decode false)")
+	}
+	if s.prio.Quantum() <= 0 {
+		return nil, fmt.Errorf("sched: speculative decoding requires an iteration-level priority policy (have %q; run-to-completion policies never reach a draft/verify boundary)", s.prio.Name())
+	}
+	if _, ok := s.models[sp.Draft]; !ok {
+		return nil, fmt.Errorf("sched: unknown draft model %q", sp.Draft)
+	}
+	if sp.Draft == meta.Model {
+		return nil, fmt.Errorf("sched: draft model %q is the target model (speculation needs a cheaper draft)", sp.Draft)
+	}
+	w, minW, maxW := sp.Window, sp.MinWindow, sp.MaxWindow
+	if w == 0 {
+		w = DefaultSpecWindow
+	}
+	if minW == 0 {
+		minW = DefaultSpecMinWindow
+	}
+	if maxW == 0 {
+		maxW = DefaultSpecMaxWindow
+	}
+	if w < 1 || minW < 1 || minW > w || w > maxW {
+		return nil, fmt.Errorf("sched: invalid draft window %d (need MinWindow <= Window <= MaxWindow, all >= 1; have min %d, max %d)", w, minW, maxW)
+	}
+	if len(sp.Accept) < meta.Tokens-1 {
+		return nil, fmt.Errorf("sched: acceptance bitmap covers %d positions, need %d (Tokens-1)", len(sp.Accept), meta.Tokens-1)
+	}
+	return &specState{
+		draft:      sp.Draft,
+		window:     w,
+		initWindow: w,
+		minWindow:  minW,
+		maxWindow:  maxW,
+		accept:     sp.Accept,
+	}, nil
+}

@@ -207,6 +207,20 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			"queue_delay_max_us": ls.DelayMax.Microseconds(),
 		})
 	}
+	spec := map[string]any{
+		"enabled":         false,
+		"rounds":          st.Sched.SpecRounds,
+		"drafted_tokens":  st.Sched.SpecDrafted,
+		"accepted_tokens": st.Sched.SpecAccepted,
+	}
+	if sc := s.k.SpecDecode(); sc != nil {
+		spec["enabled"] = true
+		spec["draft"] = sc.Draft
+		spec["window"] = sc.Window
+		if st.Sched.SpecDrafted > 0 {
+			spec["accept_rate"] = float64(st.Sched.SpecAccepted) / float64(st.Sched.SpecDrafted)
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"processes":       st.Processes,
@@ -223,6 +237,8 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		"dispatcher":      st.Sched.Dispatcher,
 		"priority_policy": st.Sched.PriorityPolicy,
 		"preemptions":     st.Sched.Preemptions,
+		"prefill_chunk":   s.k.Scheduler().PrefillChunk(),
+		"spec":            spec,
 		"lanes":           lanes,
 		"admit_deferred":  st.Sched.AdmitDeferred,
 		"admit_wait":      st.Sched.AdmitWait.String(),
