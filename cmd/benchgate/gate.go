@@ -23,8 +23,8 @@ type benchDoc struct {
 // is the concatenation of whichever of these it carries, which is unique
 // within every experiment's sweep (scaling: Replicas+Dispatcher;
 // pressure: Policy+Oversub; migrate: Dispatcher+Replicas; restart:
-// Mode+Families).
-var keyFields = []string{"Mode", "Dispatcher", "Policy", "Replicas", "Oversub", "Families"}
+// Mode+Families; prefixcache: Cell).
+var keyFields = []string{"Mode", "Cell", "Dispatcher", "Policy", "Replicas", "Oversub", "Families"}
 
 // pointKey renders a point's identity.
 func pointKey(p map[string]any) string {

@@ -100,6 +100,29 @@ func TestGateKeysOnMode(t *testing.T) {
 	}
 }
 
+// TestGateKeysOnCell covers prefixcache-style points, whose only
+// identity field is Cell: without it in the key set all three rows
+// would collide on the empty key and only one would be gated.
+func TestGateKeysOnCell(t *testing.T) {
+	base := doc("prefixcache", []map[string]any{
+		{"Cell": "off", "Throughput": 4.0},
+		{"Cell": "on", "Throughput": 11.0},
+		{"Cell": "on+order", "Throughput": 11.0},
+	})
+	cur := doc("prefixcache", []map[string]any{
+		{"Cell": "off", "Throughput": 4.0},
+		{"Cell": "on", "Throughput": 5.0},
+		{"Cell": "on+order", "Throughput": 11.0},
+	})
+	regs, compared := compareDocs(base, cur, 0.15)
+	if compared != 3 || len(regs) != 1 {
+		t.Fatalf("compared=%d regs=%v, want 3 compared and exactly the on-cell regression", compared, regs)
+	}
+	if !strings.Contains(regs[0], "Cell=on]") {
+		t.Fatalf("regression does not key on Cell: %q", regs[0])
+	}
+}
+
 // TestGateDirsEndToEnd exercises the directory walk against real files,
 // including the inflated-baseline failure path.
 func TestGateDirsEndToEnd(t *testing.T) {

@@ -8,11 +8,12 @@
 //	symphony-bench -exp migrate -quick -json-dir bench/out
 //	benchgate -baseline bench/baselines -current bench/out
 //
-// Points are matched by their identity fields (Replicas, Dispatcher,
-// Policy, Oversub, Families — whichever the experiment carries), so the
-// gate covers every experiment with one comparator. A baseline point
-// missing from the current run also fails: losing coverage is a
-// regression. To refresh baselines after an intentional perf change,
+// Points are matched by their identity fields (Mode, Cell, Replicas,
+// Dispatcher, Policy, Oversub, Families — whichever the experiment
+// carries), so the gate covers every experiment with one comparator. A
+// baseline point missing from the current run also fails: losing
+// coverage is a regression. To refresh baselines after an intentional
+// perf change,
 // rerun the -quick experiments with -json-dir bench/baselines and commit
 // the result.
 package main

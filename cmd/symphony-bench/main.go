@@ -12,7 +12,9 @@
 //
 // Experiments: fig3, toolcalls, constrained, speculative, multiround,
 // tot, editor, batching, overhead, scaling, pressure, migrate, slo,
-// specdec, restart, chaos, all.
+// specdec, restart, chaos, prefixcache, all. -list-exp prints the
+// experiment names one per line (and -list-dispatch the dispatcher
+// names) for shell completion and scripts.
 //
 // The scaling experiment sweeps the batch scheduler across simulated GPU
 // replica counts (-gpus, a comma-separated list) under a saturating
@@ -63,6 +65,16 @@
 // tier) or by recomputing every prefix from tokens. The bar is disk
 // mean TTFT at least 2x better than recompute with zero ErrNoSpace.
 //
+// The prefixcache experiment drives a multi-tenant workload in which
+// every job within a tenant shares a long prompt preamble, and compares
+// three kernels: the radix prefix cache off, on (-prefix-cache;
+// -prefix-chunk overrides the indexing chunk), and on with cache-aware
+// in-lane ordering. It reports virtual throughput, the fraction of
+// prefill tokens served from cache instead of recomputed, and the
+// kernel's share/hit ledger. The bar is >=2x virtual throughput and
+// >=60% prefill tokens saved on the shared-heavy cell, with exact
+// ledgers.
+//
 // The chaos experiment runs one seeded skewed workload fault-free and
 // again under each internal/chaos fault plan (failing/stalling
 // interconnect transfers, disk sync errors, lying syncs, torn writes,
@@ -72,12 +84,13 @@
 // and a clean recovered snapshot.
 //
 // The seeded experiments (fig3, editor, scaling, pressure, migrate,
-// slo, specdec, restart, chaos) accept -seed to shift their
+// slo, specdec, restart, chaos, prefixcache) accept -seed to shift their
 // deterministic workload streams: two runs with the same -seed produce
 // byte-identical BENCH JSON, and -seed 0 (the default) keeps each
 // experiment's recorded-baseline streams.
 //
-// The scaling, pressure, migrate, slo, specdec, restart, and chaos
+// The scaling, pressure, migrate, slo, specdec, restart, chaos, and
+// prefixcache
 // experiments also write machine-readable BENCH_<exp>.json artifacts into -json-dir
 // (default "."; empty disables), seeding the perf trajectory the CI
 // bench gate (cmd/benchgate) judges regressions against; see the README
@@ -103,7 +116,7 @@ import (
 var experimentNames = []string{
 	"fig3", "toolcalls", "constrained", "speculative", "multiround",
 	"tot", "editor", "batching", "overhead", "scaling", "pressure",
-	"migrate", "slo", "specdec", "restart", "chaos",
+	"migrate", "slo", "specdec", "restart", "chaos", "prefixcache",
 }
 
 func main() {
@@ -123,10 +136,27 @@ func main() {
 	kvDiskGB := flag.Float64("kv-disk-gb", 0,
 		"durable disk KV tier size in GiB for -exp restart (0 = experiment default)")
 	jsonDir := flag.String("json-dir", ".",
-		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo/specdec/restart/chaos (empty disables)")
+		"directory for BENCH_<exp>.json artifacts from -exp scaling/pressure/migrate/slo/specdec/restart/chaos/prefixcache (empty disables)")
 	seed := flag.Int64("seed", 0,
-		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo, specdec, restart, chaos); 0 keeps each experiment's recorded baseline")
+		"workload seed for the seeded experiments (fig3, editor, scaling, pressure, migrate, slo, specdec, restart, chaos, prefixcache); 0 keeps each experiment's recorded baseline")
+	prefixCache := flag.Bool("prefix-cache", false,
+		"force the kernel radix prefix cache on in every -exp prefixcache cell (default: the sweep compares off/on/on+order)")
+	prefixChunk := flag.Int("prefix-chunk", 0,
+		"token chunk size for prefix-cache radix indexing in -exp prefixcache (0 = experiment default)")
+	listExp := flag.Bool("list-exp", false, "print the valid -exp names, one per line, and exit")
+	listDispatch := flag.Bool("list-dispatch", false, "print the valid -dispatch names, one per line, and exit")
 	flag.Parse()
+
+	// The listing flags print machine-consumable name lists (the same
+	// lists the error paths below cite) and exit before any validation.
+	if *listExp {
+		fmt.Println(strings.Join(append(append([]string{}, experimentNames...), "all"), "\n"))
+		os.Exit(0)
+	}
+	if *listDispatch {
+		fmt.Println(strings.Join(sched.DispatcherNames(), "\n"))
+		os.Exit(0)
+	}
 
 	// Reject bad enumerated flag values up front, each with the list of
 	// valid names, instead of failing deep inside an experiment's setup.
@@ -167,6 +197,7 @@ func main() {
 		{"specdec", func(q bool) { runSpecdec(q, *jsonDir, *seed) }},
 		{"restart", func(q bool) { runRestart(q, *kvDiskGB, *jsonDir, *seed) }},
 		{"chaos", func(q bool) { runChaos(q, *kvDiskGB, *interconnectGbps, *jsonDir, *seed) }},
+		{"prefixcache", func(q bool) { runPrefixCache(q, *prefixCache, *prefixChunk, *jsonDir, *seed) }},
 	} {
 		if *exp == e.name || *exp == "all" {
 			e.fn(*quick)
@@ -400,6 +431,24 @@ func runChaos(quick bool, diskGB, gbps float64, jsonDir string, seed int64) {
 	tab := experiments.ChaosTable(pts)
 	fmt.Println(tab.String())
 	writeBench(jsonDir, "chaos", cfg, pts)
+}
+
+func runPrefixCache(quick, forceOn bool, chunk int, jsonDir string, seed int64) {
+	cfg := experiments.DefaultPrefixCache()
+	if quick {
+		cfg = experiments.QuickPrefixCache()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.ForceOn = forceOn
+	if chunk > 0 {
+		cfg.ChunkTokens = chunk
+	}
+	pts := experiments.RunPrefixCache(cfg)
+	tab := experiments.PrefixCacheTable(pts)
+	fmt.Println(tab.String())
+	writeBench(jsonDir, "prefixcache", cfg, pts)
 }
 
 // splitList parses a comma-separated flag value, trimming blanks.

@@ -42,6 +42,14 @@
 // -spec-decode requires an iteration-level -priority-policy; the
 // speculation ledger is reported by /v1/stats under "spec".
 //
+// A kernel radix prefix cache (-prefix-cache) deduplicates KV across
+// jobs: every committed prefill leaves its -prefix-chunk-aligned
+// prefixes in a radix tree, and a later prompt that extends a cached
+// prefix attaches it copy-on-write and prefills only the uncached tail,
+// with same-lane waiting calls ordered longest-match-first. The hit
+// ledger is reported by /v1/stats under "prefix_cache"; each attach
+// streams to the affected job as a kv_share event.
+//
 // GPU KV memory is managed by the kernel memory daemon: -kv-policy
 // selects the eviction policy (lru, lfu, cost-aware, or none to disable)
 // and -kv-high-water the usage fraction that triggers reclaim. Under
@@ -116,6 +124,10 @@ func main() {
 	specWindow := flag.Int("spec-window", sched.DefaultSpecWindow,
 		fmt.Sprintf("initial draft window for -spec-decode (adapted between %d and %d from the observed acceptance rate)",
 			sched.DefaultSpecMinWindow, sched.DefaultSpecMaxWindow))
+	prefixCache := flag.Bool("prefix-cache", false,
+		"enable the kernel radix prefix cache: cross-job KV deduplication of shared prompt prefixes with cache-aware call ordering")
+	prefixChunk := flag.Int("prefix-chunk", core.DefaultPrefixChunk,
+		"radix chunk size in tokens for -prefix-cache (rounded up to a KV page multiple)")
 	defaultPriority := flag.String("default-priority", "normal",
 		"scheduling lane for requests without a priority field (interactive|normal|batch)")
 	batchTenants := flag.String("batch-tenants", "",
@@ -155,6 +167,9 @@ func main() {
 	if _, err := sched.ParsePriority(*defaultPriority); err != nil {
 		log.Fatalf("-default-priority: %v", err)
 	}
+	if *prefixChunk <= 0 {
+		log.Fatalf("-prefix-chunk must be positive (got %d)", *prefixChunk)
+	}
 	tenantPrio := make(map[string]string)
 	for _, tenant := range strings.Split(*batchTenants, ",") {
 		if tenant = strings.TrimSpace(tenant); tenant != "" {
@@ -191,6 +206,11 @@ func main() {
 		Disk: core.DiskConfig{
 			Bytes:     int64(*kvDiskGB * float64(1<<30)),
 			HighWater: *kvDiskHighWater,
+		},
+		Prefix: core.PrefixConfig{
+			Enabled:         *prefixCache,
+			ChunkTokens:     *prefixChunk,
+			CacheAwareOrder: true,
 		},
 	})
 	if kernel.DiskTier() != nil {
@@ -236,10 +256,14 @@ func main() {
 	if specCfg != nil {
 		specNote = fmt.Sprintf("%s w=%d", specCfg.Draft, *specWindow)
 	}
-	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s priority policy, %s kv policy, prefill chunk %d, spec decode %s",
+	prefixNote := "off"
+	if *prefixCache {
+		prefixNote = fmt.Sprintf("chunk %d", kernel.Stats().PrefixCache.ChunkTokens)
+	}
+	log.Printf("symphonyd: llama-13b (simulated) on %s, %gx virtual time, %d GPU replica(s), %s dispatch, %s priority policy, %s kv policy, prefill chunk %d, spec decode %s, prefix cache %s",
 		*addr, *speedup, kernel.Scheduler().Replicas(), kernel.Scheduler().Dispatcher(),
 		kernel.Scheduler().PriorityPolicy(), kernel.KVD().PolicyName(),
-		kernel.Scheduler().PrefillChunk(), specNote)
+		kernel.Scheduler().PrefillChunk(), specNote, prefixNote)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

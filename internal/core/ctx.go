@@ -354,6 +354,41 @@ func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []
 	}
 	k.kvd.Touch(f)
 
+	// extra counts disk-resident prefix tokens ensureResident chose to
+	// recompute rather than load: they ride in this call's batch entry so
+	// the GPU step pays their prefill (see migrate.go's recompute path).
+	// A decode call has no prefill entry to fold a rebuild into, so for
+	// it disk pages are always loaded, never recomputed.
+	extra := 0
+
+	// Radix prefix cache (prefixcache.go): a fresh prefill whose prompt
+	// starts at position zero is matched against the kernel's tree of
+	// committed prefixes. On a hit the deepest cached node is attached by
+	// COW share — the node file held under a reader and a pin so neither
+	// eviction nor the memory daemon can reclaim it mid-attach — and only
+	// the uncached tail is appended and submitted. A disk-resident match
+	// pays the usual promote-vs-recompute decision here, folding any
+	// recompute tokens into the call's batch entry.
+	cacheable := k.pcache != nil && !decode && f.Len() == 0 &&
+		identityPositions(positions) && len(toks) >= k.pcache.chunk
+	var pnode *prefixNode
+	attached := 0
+	if cacheable {
+		if n, depth := k.pcache.match(toks); n != nil {
+			k.kvd.Pin(n.file)
+			k.kvd.Touch(n.file)
+			if _, rerr := c.ensureResident(n.file, m.Config().Cost, true); rerr != nil {
+				// Cannot bring the cached prefix back: treat as a miss.
+				k.kvd.Unpin(n.file)
+				k.pcache.release(n)
+			} else {
+				pnode, attached = n, depth
+				defer k.kvd.Unpin(n.file)
+				defer k.pcache.release(n)
+			}
+		}
+	}
+
 	// predAlloc is the memory-acquisition phase of the call: with the
 	// file pinned (the daemon never offloads KV an in-flight pred is
 	// using), restore it if a tool wait or the daemon offloaded it, then
@@ -365,12 +400,6 @@ func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []
 	// preTail is the context hash ahead of this call's tokens: the
 	// speculation bitmap's first position draws from it.
 	preTail := f.Tail()
-	// extra counts disk-resident prefix tokens ensureResident chose to
-	// recompute rather than load: they ride in this call's batch entry so
-	// the GPU step pays their prefill (see migrate.go's recompute path).
-	// A decode call has no prefill entry to fold a rebuild into, so for
-	// it disk pages are always loaded, never recomputed.
-	extra := 0
 	predAlloc := func() error {
 		k.kvd.Pin(f)
 		k.kvd.MaybeReclaim()
@@ -380,12 +409,20 @@ func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []
 			return err
 		}
 		extra += n
+		if attached > 0 && f.Len() == 0 {
+			if aerr := f.AdoptPrefix(pnode.file, attached); aerr != nil {
+				// Share refused (the node file lost residency despite the
+				// pin, or a restart raced): fall back to a full prefill.
+				// The deferred release/unpin still run.
+				attached = 0
+			}
+		}
 		// The KV entries and their context hashes are fixed at
 		// submission; the GPU step only determines *when* the results
 		// exist.
-		aerr := k.withReclaim(len(toks), func() error {
+		aerr := k.withReclaim(len(toks)-attached, func() error {
 			var err error
-			tails, err = f.Append(toks, positions)
+			tails, err = f.Append(toks[attached:], positions[attached:])
 			return err
 		})
 		if aerr != nil {
@@ -424,6 +461,15 @@ func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []
 	k.predCalls.Inc()
 	k.predTokens.Add(int64(len(toks)))
 
+	if attached > 0 {
+		// Hit ledger: the attached tokens were charged to the user (the
+		// prompt was submitted in full) but are billed to the GPU as
+		// saved, not executed — the scheduler only sees the tail.
+		k.pcache.noteAttach(attached, time.Duration(attached)*m.Config().Cost.PerToken)
+		c.p.publish(ProcEvent{Kind: EventKVShare, Phase: "attach",
+			Text: fmt.Sprintf("%d of %d tokens", attached, len(toks))})
+	}
+
 	pstart := k.clk.Now()
 	// The affinity key is the file's root KV hash: forks of one
 	// conversation share it, so cache-aware dispatch keeps them on the
@@ -432,10 +478,27 @@ func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []
 	// GPU iteration loop.
 	call := sched.Call{
 		Model:    resolvedName(k, modelName),
-		Tokens:   len(toks) + extra,
+		Tokens:   len(toks) - attached + extra,
 		Affinity: uint64(f.Root()),
 		Priority: c.p.prio,
 		Decode:   decode,
+	}
+	// placed learns the replica the scheduler routed the call to, so the
+	// prefix cache can home the prompt's tree path there for crash
+	// invalidation. The callback runs on the submitting actor before the
+	// call is enqueued, strictly before SubmitCall returns.
+	placed := -1
+	if cacheable {
+		call.Placed = func(r int) { placed = r }
+	}
+	if attached > 0 {
+		// Cache-aware scheduling: the matched length lets same-lane
+		// executors clear the shortest remaining prefill first, and the
+		// deepest matched node's hash — not just the root — steers the
+		// cache-affinity dispatchers and the migration engine's prefix
+		// index to that node's home replica.
+		call.PrefixHit = attached
+		call.Affinity = uint64(pnode.tail)
 	}
 	if decode && k.spec != nil && call.Model == k.defMod && len(toks) > 1 {
 		// Precompute the acceptance bitmap from the deterministic model
@@ -521,11 +584,38 @@ func (c *Ctx) pred(modelName string, f *kvfs.File, toks []token.ID, positions []
 		Kind: trace.KindPred, Detail: fmt.Sprintf("%d tokens @%s", len(toks), resolvedName(k, modelName)),
 	})
 
-	dists := make([]model.Dist, len(tails))
-	for i, h := range tails {
+	if cacheable {
+		// Commit the freshly committed prompt's chunk boundaries into the
+		// radix tree while f is still pinned and GPU-resident, homing the
+		// path on the replica that ran the call.
+		k.pcache.insert(f, toks, placed)
+	}
+
+	// The attached prefix's per-token context hashes equal what appending
+	// those tokens would have produced (AdoptPrefix shares exact KV), so
+	// the caller still receives one distribution per submitted token.
+	dists := make([]model.Dist, len(toks))
+	h := model.CtxHash(0)
+	for i := 0; i < attached; i++ {
+		h = h.Extend(toks[i], i)
 		dists[i] = m.Next(h)
 	}
+	for i, th := range tails {
+		dists[attached+i] = m.Next(th)
+	}
 	return dists, nil
+}
+
+// identityPositions reports whether positions is exactly 0..n-1 — the
+// shape of a fresh full-prompt prefill, the only one the prefix cache
+// matches (cached nodes are keyed by position-zero context hashes).
+func identityPositions(positions []int) bool {
+	for i, p := range positions {
+		if p != i {
+			return false
+		}
+	}
+	return true
 }
 
 func resolvedName(k *Kernel, name string) string {

@@ -40,6 +40,10 @@ const (
 	// (pages copied over the interconnect) or "recompute" (prefix rebuilt
 	// on the destination inside the call's batch); Text carries detail.
 	EventKVMigrate EventKind = "kv_migrate"
+	// EventKVShare reports the kernel's radix prefix cache attaching a
+	// cached KV prefix to this process's pred by copy-on-write share
+	// (Phase "attach"); Text carries the attached/total token counts.
+	EventKVShare EventKind = "kv_share"
 )
 
 // Status is a process lifecycle state.

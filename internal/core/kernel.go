@@ -101,6 +101,10 @@ type Config struct {
 	// iteration drafts a window of tokens on the named draft model and
 	// verifies them inside the call's own step. See sched.SpecCall.
 	Spec *SpecConfig
+	// Prefix configures the kernel's radix prefix cache (prefixcache.go):
+	// automatic cross-job KV deduplication of shared prompt prefixes. The
+	// zero value disables it.
+	Prefix PrefixConfig
 	// Replicas is the number of simulated GPU executors behind the batch
 	// scheduler; values < 1 mean one.
 	Replicas int
@@ -185,6 +189,7 @@ type Kernel struct {
 	kvd    *kvd.Daemon
 	disk   *kvfs.DiskTier // nil without a disk tier
 	mig    *migrator      // nil without a migration-aware dispatcher
+	pcache *prefixCache   // nil without the radix prefix cache
 	spec   *SpecConfig    // nil without speculative decoding
 	tok    *token.Tokenizer
 
@@ -281,12 +286,13 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		spec = &s
 	}
 	schedCfg := sched.Config{
-		Models:         costs,
-		Policy:         cfg.Policy,
-		PriorityPolicy: cfg.PriorityPolicy,
-		PrefillChunk:   cfg.PrefillChunk,
-		Replicas:       cfg.Replicas,
-		Dispatcher:     cfg.Dispatcher,
+		Models:          costs,
+		Policy:          cfg.Policy,
+		PriorityPolicy:  cfg.PriorityPolicy,
+		PrefillChunk:    cfg.PrefillChunk,
+		Replicas:        cfg.Replicas,
+		Dispatcher:      cfg.Dispatcher,
+		CacheAwareOrder: cfg.Prefix.Enabled && cfg.Prefix.CacheAwareOrder,
 	}
 	if daemon.Enabled() {
 		// The admission gate defers new pred submissions while the KV
@@ -311,16 +317,20 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 	}
 	schedCfg.CrashCheck = cfg.CrashCheck
 	if cfg.CrashCheck != nil {
-		// Replica actors start inside sched.New, before the migrator is
-		// assembled below, so the crash hook reads k.mig under k.mu rather
-		// than capturing it.
+		// Replica actors start inside sched.New, before the migrator and
+		// prefix cache are assembled below, so the crash hook reads them
+		// under k.mu rather than capturing them.
 		schedCfg.OnCrash = func(id int) {
 			k.mu.Lock()
 			mig := k.mig
+			pc := k.pcache
 			k.mu.Unlock()
 			if mig != nil {
 				mig.noteReplicaCrash(id)
 			}
+			// A crashed replica's cached prefixes died with it: drop their
+			// tree entries like the migration engine's prefix-index homes.
+			pc.invalidateHome(id)
 		}
 	}
 	k.sch = sched.New(clk, schedCfg)
@@ -348,6 +358,12 @@ func New(clk *simclock.Clock, cfg Config) *Kernel {
 		// read it from a replica actor.
 		k.mu.Lock()
 		k.mig = mig
+		k.mu.Unlock()
+	}
+	if pc := newPrefixCache(k, cfg.Prefix); pc != nil {
+		// Same k.mu discipline as the migrator: the crash hook may race.
+		k.mu.Lock()
+		k.pcache = pc
 		k.mu.Unlock()
 	}
 	return k
@@ -553,6 +569,7 @@ type Stats struct {
 	FS          kvfs.Stats
 	KVD         kvd.Stats
 	Migration   MigrationStats
+	PrefixCache PrefixCacheStats
 }
 
 // Stats returns a snapshot of counters.
@@ -569,6 +586,7 @@ func (k *Kernel) Stats() Stats {
 		FS:          k.fs.Stats(),
 		KVD:         k.kvd.Stats(),
 		Migration:   k.mig.stats(),
+		PrefixCache: k.pcache.stats(),
 	}
 }
 

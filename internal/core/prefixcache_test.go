@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/kvd"
+	"repro/internal/kvfs"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/token"
+)
+
+// newPrefixKernel builds a single-replica kernel with the radix prefix
+// cache enabled, small pages so chunk-aligned shares are cheap to build
+// in tests, and the given chunk/cap.
+func newPrefixKernel(chunk, maxNodes int) (*simclock.Clock, *Kernel) {
+	clk := simclock.New()
+	fs := kvfs.DefaultConfig()
+	fs.PageTokens = 4
+	fs.BytesPerToken = 1
+	fs.GPUBytes = 1 << 20
+	k := New(clk, Config{
+		Models:       map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		DefaultModel: "llama-13b",
+		FS:           fs,
+		Policy:       sched.Immediate{},
+		Prefix:       PrefixConfig{Enabled: true, ChunkTokens: chunk, MaxNodes: maxNodes},
+	})
+	return clk, k
+}
+
+// insertPrompt materializes toks in a throwaway file and commits its
+// chunk boundaries into the cache, the way pred does after a prefill.
+func insertPrompt(t *testing.T, k *Kernel, toks []token.ID, home int) {
+	t.Helper()
+	f := k.fs.CreateAnon("u")
+	pos := make([]int, len(toks))
+	for i := range pos {
+		pos[i] = i
+	}
+	if _, err := f.Append(toks, pos); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	k.pcache.insert(f, toks, home)
+	if err := f.Remove(); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}
+
+// naiveRadixMatch is the reference for FuzzRadixMatch: the deepest
+// chunk-aligned common prefix between query and any inserted prompt,
+// capped at len(query)-1 (a pred must prefill at least one token).
+func naiveRadixMatch(query []token.ID, prompts [][]token.ID, chunk int) int {
+	best := 0
+	for _, p := range prompts {
+		l := 0
+		for l < len(query) && l < len(p) && query[l] == p[l] {
+			l++
+		}
+		if l > len(query)-1 {
+			l = len(query) - 1
+		}
+		l -= l % chunk
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// fuzzTokens decodes one token stream from the fuzz input: a cut point
+// into a base prompt (sharing its prefix) plus fresh tokens from a small
+// alphabet, so radix structure arises naturally.
+func fuzzTokens(data []byte, i *int, base []token.ID) []token.ID {
+	next := func() byte {
+		if *i >= len(data) {
+			return 0
+		}
+		b := data[*i]
+		*i++
+		return b
+	}
+	cut := 0
+	if len(base) > 0 {
+		cut = int(next()) % (len(base) + 1)
+	}
+	toks := append([]token.ID(nil), base[:cut]...)
+	for n := 1 + int(next())%13; n > 0; n-- {
+		toks = append(toks, token.ID(1+int(next())%7))
+	}
+	return toks
+}
+
+// FuzzRadixMatch drives the cache's match walk against the naive
+// longest-common-prefix reference over randomized prompt families.
+func FuzzRadixMatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 2, 3})
+	f.Add([]byte{0, 12, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 6, 4, 2, 2, 2, 2, 9, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const chunk = 4 // equals the page size in newPrefixKernel
+		clk, k := newPrefixKernel(chunk, 1<<20)
+		defer clk.Shutdown()
+
+		i := 0
+		var prompts [][]token.ID
+		var base []token.ID
+		for n := 0; n < 4; n++ {
+			p := fuzzTokens(data, &i, base)
+			insertPrompt(t, k, p, 0)
+			prompts = append(prompts, p)
+			base = p
+		}
+		query := fuzzTokens(data, &i, base)
+
+		node, depth := k.pcache.match(query)
+		defer k.pcache.release(node)
+		want := naiveRadixMatch(query, prompts, chunk)
+		if depth != want {
+			t.Fatalf("match depth %d, want %d (query %v, prompts %v)", depth, want, query, prompts)
+		}
+		if node == nil && depth != 0 {
+			t.Fatalf("nil node with depth %d", depth)
+		}
+		if node != nil && node.depth != depth {
+			t.Fatalf("node depth %d != returned depth %d", node.depth, depth)
+		}
+	})
+}
+
+// TestPrefixCacheReaderBlocksEviction pins the mid-attach safety rule:
+// a node held by a reader is never evicted by the MaxNodes cap, no
+// matter how stale, and becomes evictable again once released.
+func TestPrefixCacheReaderBlocksEviction(t *testing.T) {
+	const chunk = 4
+	clk, k := newPrefixKernel(chunk, 2)
+	defer clk.Shutdown()
+
+	mk := func(lead token.ID) []token.ID {
+		toks := make([]token.ID, chunk+1)
+		for i := range toks {
+			toks[i] = lead + token.ID(i)
+		}
+		return toks
+	}
+	held := mk(100)
+	insertPrompt(t, k, held, 0)
+	node, depth := k.pcache.match(append(held, held...)) // extend past the cached chunk
+	if node == nil || depth != chunk {
+		t.Fatalf("match = (%v, %d), want the seeded node at depth %d", node, depth, chunk)
+	}
+
+	// Over-fill the cache: the held node is the LRU victim by age, but the
+	// reader hold must deflect eviction onto the idle nodes.
+	for i := 0; i < 4; i++ {
+		insertPrompt(t, k, mk(token.ID(200+100*i)), 0)
+	}
+	if n, d := k.pcache.match(held); n != node || d != chunk {
+		t.Fatalf("held node evicted while a reader was mid-attach")
+	} else {
+		k.pcache.release(n)
+	}
+	if got := k.pcache.stats().Nodes; got != 2 {
+		t.Fatalf("nodes = %d, want the cap 2", got)
+	}
+
+	// Released, the node is ordinary LRU prey again.
+	k.pcache.release(node)
+	insertPrompt(t, k, mk(900), 0)
+	insertPrompt(t, k, mk(1900), 0)
+	if n, _ := k.pcache.match(held); n != nil {
+		k.pcache.release(n)
+		t.Fatal("released node survived cap eviction as the LRU victim")
+	}
+}
+
+// TestPrefixCacheReaderBlocksInvalidation pins the same rule on the
+// crash path: invalidateHome drops idle nodes homed on the crashed
+// replica but spares reader-held ones, and cascades away children whose
+// parent chain broke.
+func TestPrefixCacheReaderBlocksInvalidation(t *testing.T) {
+	const chunk = 4
+	clk, k := newPrefixKernel(chunk, 1<<20)
+	defer clk.Shutdown()
+
+	toks := make([]token.ID, 3*chunk)
+	for i := range toks {
+		toks[i] = token.ID(50 + i)
+	}
+	insertPrompt(t, k, toks, 3) // nodes at depths 4, 8, 12, all homed on 3
+
+	node, depth := k.pcache.match(append(toks, 1))
+	if depth != 3*chunk {
+		t.Fatalf("depth = %d, want %d", depth, 3*chunk)
+	}
+	k.pcache.invalidateHome(3)
+	st := k.pcache.stats()
+	if st.Nodes != 1 || st.Invalidations != 2 {
+		t.Fatalf("after crash with a held leaf: nodes=%d invalidations=%d, want 1/2",
+			st.Nodes, st.Invalidations)
+	}
+	// The held leaf is unreachable through match (its parent chain broke)
+	// but must still be alive: its file is mid-attach.
+	k.pcache.mu.Lock()
+	_, alive := k.pcache.nodes[node.tail]
+	k.pcache.mu.Unlock()
+	if !alive || node.file.Removed() {
+		t.Fatalf("held node reclaimed by invalidation (alive=%v removed=%v)", alive, node.file.Removed())
+	}
+
+	// Released, the survivor is an orphan (its parent chain broke) and the
+	// next crash sweep removes it.
+	k.pcache.release(node)
+	k.pcache.invalidateHome(3)
+	st = k.pcache.stats()
+	if st.Nodes != 0 || st.Invalidations != 3 {
+		t.Fatalf("after release: nodes=%d invalidations=%d, want 0/3", st.Nodes, st.Invalidations)
+	}
+}
+
+// prefixPromptJob submits one flat prompt + short decode into a fresh
+// anonymous file, the prefix cache's bread-and-butter request shape.
+func prefixPromptJob(toks []token.ID, decode int) Program {
+	return func(ctx *Ctx) error {
+		f, err := ctx.KvAnon()
+		if err != nil {
+			return err
+		}
+		defer f.Remove()
+		pos := make([]int, len(toks))
+		for i := range pos {
+			pos[i] = i
+		}
+		if _, err := ctx.Pred(f, toks, pos); err != nil {
+			return err
+		}
+		for d := 0; d < decode; d++ {
+			if _, err := ctx.Pred(f, []token.ID{token.ID(9000 + d)}, []int{f.Len()}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestPrefixCacheCrashInvalidatesHomes pins the crash wiring end to end:
+// a replica executor crash (chaos CrashCheck) invalidates every cache
+// node homed on it — exactly like the migration engine's prefix-index
+// homes — after which the same prompt misses, re-prefills, reseeds the
+// tree, and serves hits again.
+func TestPrefixCacheCrashInvalidatesHomes(t *testing.T) {
+	const replicas = 2
+	dispatcher, err := sched.NewDispatcher("round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New()
+	inj := chaos.New(clk, 1)
+	k := New(clk, Config{
+		Models:     map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		Policy:     sched.DefaultPoisson(),
+		Replicas:   replicas,
+		Dispatcher: dispatcher,
+		CrashCheck: inj.CrashCheck(),
+		Prefix:     PrefixConfig{Enabled: true},
+	})
+
+	prompt := make([]token.ID, 128)
+	for i := range prompt {
+		prompt[i] = token.ID(10_000 + i)
+	}
+	other := make([]token.ID, 80)
+	for i := range other {
+		other[i] = token.ID(20_000 + i)
+	}
+
+	drive(t, clk, func() {
+		if err := k.Submit("seed", prefixPromptJob(prompt, 2)).Wait(); err != nil {
+			t.Errorf("seed: %v", err)
+			return
+		}
+		// Find the replica the seeded path was homed on and schedule its
+		// executor to die at the next iteration boundary.
+		k.pcache.mu.Lock()
+		if len(k.pcache.nodes) != 2 {
+			k.pcache.mu.Unlock()
+			t.Errorf("seeded %d nodes, want 2", len(k.pcache.nodes))
+			return
+		}
+		home := -1
+		for _, n := range k.pcache.nodes {
+			home = n.home
+		}
+		k.pcache.mu.Unlock()
+		inj.Arm(chaos.Rule{Point: fmt.Sprintf("replica.%d.crash", home), At: clk.Now() + time.Millisecond, Crash: true})
+
+		// Unrelated traffic on both replicas trips the crash.
+		a := k.Submit("a", prefixPromptJob(other, 2))
+		b := k.Submit("b", prefixPromptJob(other[:64], 2))
+		if err := a.Wait(); err != nil {
+			t.Errorf("a: %v", err)
+		}
+		if err := b.Wait(); err != nil {
+			t.Errorf("b: %v", err)
+		}
+
+		st := k.Stats()
+		if st.Sched.Crashes == 0 {
+			t.Error("armed replica crash never fired")
+		}
+		if st.PrefixCache.Invalidations != 2 {
+			t.Errorf("invalidations = %d, want the 2 seeded nodes", st.PrefixCache.Invalidations)
+		}
+		if n, d := k.pcache.match(prompt); n != nil {
+			k.pcache.release(n)
+			t.Errorf("crashed-home prefix still matches at depth %d", d)
+		}
+		if st.PrefixCache.HitTokens != 0 {
+			t.Errorf("unexpected hits before reseed: %+v", st.PrefixCache)
+		}
+
+		// The same prompt re-prefills in full, reseeds the tree, and the
+		// next submission hits again.
+		if err := k.Submit("reseed", prefixPromptJob(prompt, 2)).Wait(); err != nil {
+			t.Errorf("reseed: %v", err)
+		}
+		if err := k.Submit("again", prefixPromptJob(prompt, 2)).Wait(); err != nil {
+			t.Errorf("again: %v", err)
+		}
+	})
+
+	st := k.Stats()
+	if st.PrefixCache.HitTokens == 0 {
+		t.Fatalf("no hit after reseeding: %+v", st.PrefixCache)
+	}
+}
+
+// TestPrefixCacheSurvivesMemoryPressure runs a shared-preamble workload
+// on a GPU pool far smaller than the total KV the jobs touch, with the
+// memory daemon evicting cold files throughout. The cache's node files
+// are ordinary eviction prey (tracked ownerless), but a node mid-attach
+// is pinned — every job must complete, and the cache must keep serving
+// hits while its idle leaves spill.
+func TestPrefixCacheSurvivesMemoryPressure(t *testing.T) {
+	const (
+		tenants  = 3
+		jobs     = 6
+		preamble = 128
+		suffix   = 64
+		decode   = 4
+	)
+	clk := simclock.New()
+	fs := kvfs.DefaultConfig()
+	fs.PageTokens = 16
+	fs.BytesPerToken = 1
+	fs.GPUBytes = 1200 // a fraction of the ~3.5k tokens the run touches
+	fs.HostBytes = 1 << 20
+	k := New(clk, Config{
+		Models:       map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		DefaultModel: "llama-13b",
+		FS:           fs,
+		Policy:       sched.DefaultPoisson(),
+		KV:           kvd.Config{Policy: "lru"},
+		Prefix:       PrefixConfig{Enabled: true},
+	})
+
+	drive(t, clk, func() {
+		wg := clk.NewWaitGroup()
+		for tn := 0; tn < tenants; tn++ {
+			tn := tn
+			wg.Add(1)
+			p := k.Submit(fmt.Sprintf("tenant-%d", tn), func(ctx *Ctx) error {
+				if err := ctx.Sleep(time.Duration(tn) * time.Millisecond); err != nil {
+					return err
+				}
+				for j := 0; j < jobs; j++ {
+					toks := make([]token.ID, preamble+suffix)
+					for i := 0; i < preamble; i++ {
+						toks[i] = token.ID(100_000 + tn*10_000 + i)
+					}
+					for i := 0; i < suffix; i++ {
+						toks[preamble+i] = token.ID(500_000 + tn*10_000 + j*100 + i)
+					}
+					if err := prefixPromptJob(toks, decode)(ctx); err != nil {
+						return fmt.Errorf("tenant %d job %d: %w", tn, j, err)
+					}
+				}
+				return nil
+			})
+			clk.Go("join", func() {
+				defer wg.Done()
+				if err := p.Wait(); err != nil {
+					t.Errorf("tenant: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+	})
+
+	st := k.Stats()
+	if st.KVD.Offloads == 0 {
+		t.Fatalf("the pool never came under pressure (offloads=0): %+v", st.KVD)
+	}
+	if st.PrefixCache.HitTokens == 0 {
+		t.Fatalf("no cache hits under pressure: %+v", st.PrefixCache)
+	}
+	// The execution ledger must balance with hit tokens billed as saved,
+	// not executed, even with restores and preemptions in the mix.
+	if st.Sched.ExecutedTokens != st.Sched.Tokens+st.Sched.LostTokens {
+		t.Fatalf("scheduler ledger broken: executed=%d tokens=%d lost=%d",
+			st.Sched.ExecutedTokens, st.Sched.Tokens, st.Sched.LostTokens)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/simclock"
+	"repro/internal/token"
 )
 
 // ChaosConfig parameterizes the fault-injection sweep: the same seeded
@@ -32,7 +33,10 @@ type ChaosConfig struct {
 	// replica 0, so migrations (and their injected failures) happen.
 	Replicas int
 	// Cells lists the fault plans to run (see armChaos): "none",
-	// "interconnect", "disk", "replica-crash".
+	// "interconnect", "disk", "replica-crash", plus the fault-free
+	// "prefix-cache" variant that reruns the workload on a kernel with the
+	// radix prefix cache enabled and clients submitting full flat prompts,
+	// auditing that cache-served tokens are billed as saved, not executed.
 	Cells []string
 	// Families, ClientsPerFamily, RequestsPerClient, PrefixTokens,
 	// SuffixTokens, DecodeTokens shape the closed-loop fork workload
@@ -138,6 +142,11 @@ type ChaosPoint struct {
 	// SpillRollbacks counts failed-commit spill reversals in the KV
 	// daemon's ledger.
 	SpillRollbacks int64
+	// HitTokens is the prefix-cache cell's cache-served prompt volume
+	// (omitted everywhere else, keeping recorded artifacts stable). The
+	// billing invariant covers it: hit tokens are charged to the user but
+	// never executed, and both ledgers must still balance exactly.
+	HitTokens int64 `json:",omitempty"`
 	// Recovery: after the run, the machine power-fails and a fresh
 	// kernel recovers the newest durable snapshot. RecoverOK is false
 	// when recovery had to fall back past a corrupt generation.
@@ -227,6 +236,11 @@ func armChaos(inj *chaos.Injector, mode string, now time.Duration) {
 			chaos.Rule{Point: "replica.0.crash", At: ms(4), Crash: true},
 			chaos.Rule{Point: "replica.2.crash", At: ms(12), Crash: true},
 		)
+	case "prefix-cache":
+		// Fault-free, but the kernel runs with the radix prefix cache on
+		// and clients submit full flat prompts (see runChaosCell): the cell
+		// audits the billing and execution ledgers when most prefill tokens
+		// are served from cache instead of computed.
 	default:
 		panic(fmt.Sprintf("experiments: unknown chaos cell %q", mode))
 	}
@@ -236,6 +250,7 @@ func armChaos(inj *chaos.Injector, mode string, now time.Duration) {
 // checkpoint, arm, faulted client phase with a background checkpointer,
 // then power-fail and recover on a fresh kernel.
 func runChaosCell(cfg ChaosConfig, mode string) ChaosPoint {
+	prefix := mode == "prefix-cache"
 	dispatcher, err := sched.NewDispatcher("cache-affinity-migrate")
 	if err != nil {
 		panic(err)
@@ -261,6 +276,7 @@ func runChaosCell(cfg ChaosConfig, mode string) ChaosPoint {
 		KV:           kvd.Config{Policy: "lru"},
 		Disk:         core.DiskConfig{Bytes: diskBytes, FS: ffs},
 		CrashCheck:   inj.CrashCheck(),
+		Prefix:       core.PrefixConfig{Enabled: prefix, CacheAwareOrder: true},
 	})
 
 	jobs := cfg.Families * cfg.ClientsPerFamily * cfg.RequestsPerClient
@@ -340,20 +356,54 @@ func runChaosCell(cfg ChaosConfig, mode string) ChaosPoint {
 					if err := ctx.Sleep(time.Duration(fam*cfg.ClientsPerFamily+c) * time.Millisecond); err != nil {
 						return err
 					}
-					parent, err := ctx.KvOpen(fmt.Sprintf("fam-%d", fam), false)
-					if err != nil {
-						return err
-					}
-					for r := 0; r < cfg.RequestsPerClient; r++ {
-						reqStart := ctx.Clock().Now()
-						fork, err := ctx.KvFork(parent)
+					var parent *kvfs.File
+					if !prefix {
+						var err error
+						parent, err = ctx.KvOpen(fmt.Sprintf("fam-%d", fam), false)
 						if err != nil {
 							return err
 						}
+					}
+					for r := 0; r < cfg.RequestsPerClient; r++ {
+						reqStart := ctx.Clock().Now()
 						seed := seedBase(cfg.Seed) + 2_000_000 + fam*100_000 + c*10_000 + r*1_000
-						if err := migratePred(ctx, fork, cfg.SuffixTokens, seed); err != nil {
-							fork.Remove()
-							return err
+						var fork *kvfs.File
+						var err error
+						if prefix {
+							// Flat-prompt variant: the full family preamble plus the
+							// unique suffix lands in a fresh anonymous file, so the
+							// radix cache (seeded by the prologue) serves the
+							// preamble while the user is billed for every token.
+							fork, err = ctx.KvAnon()
+							if err != nil {
+								return err
+							}
+							toks := make([]token.ID, cfg.PrefixTokens+cfg.SuffixTokens)
+							pos := make([]int, len(toks))
+							toks[0] = skewedFirstToken(cfg.Replicas, 0, 1_000_000+fam*10_000)
+							fseed := seedBase(cfg.Seed) + 1_000_000 + fam*10_000
+							for i := 1; i < cfg.PrefixTokens; i++ {
+								toks[i] = token.ID(fseed + i)
+							}
+							for i := 0; i < cfg.SuffixTokens; i++ {
+								toks[cfg.PrefixTokens+i] = token.ID(seed + i)
+							}
+							for i := range pos {
+								pos[i] = i
+							}
+							if _, err := ctx.Pred(fork, toks, pos); err != nil {
+								fork.Remove()
+								return err
+							}
+						} else {
+							fork, err = ctx.KvFork(parent)
+							if err != nil {
+								return err
+							}
+							if err := migratePred(ctx, fork, cfg.SuffixTokens, seed); err != nil {
+								fork.Remove()
+								return err
+							}
 						}
 						for d := 0; d < cfg.DecodeTokens; d++ {
 							if err := migratePred(ctx, fork, 1, seed+500+d); err != nil {
@@ -403,6 +453,7 @@ func runChaosCell(cfg ChaosConfig, mode string) ChaosPoint {
 		Checkpoints:    checkpoints,
 		CommitErrors:   commitErrors,
 		SpillRollbacks: st.KVD.SpillRollbacks,
+		HitTokens:      st.PrefixCache.HitTokens,
 		Makespan:       lastDone - clientsStart,
 	}
 	for _, n := range counts {
@@ -414,6 +465,11 @@ func runChaosCell(cfg ChaosConfig, mode string) ChaosPoint {
 		}
 	}
 	pt.ExpectedTokens = int64(cfg.Families*cfg.PrefixTokens) + int64(jobs*(cfg.SuffixTokens+cfg.DecodeTokens))
+	if prefix {
+		// Flat prompts re-submit the preamble with every job; users are
+		// charged for it even when the cache serves it without executing.
+		pt.ExpectedTokens += int64(jobs * cfg.PrefixTokens)
+	}
 	pt.ChargedTokens = k.UserUsage("admin")
 	for fam := 0; fam < cfg.Families; fam++ {
 		for c := 0; c < cfg.ClientsPerFamily; c++ {

@@ -11,6 +11,11 @@ import (
 // plus per-cell evidence that the fault plan actually fired.
 func TestChaosInvariants(t *testing.T) {
 	cfg := QuickChaos()
+	// The prefix-cache cell is appended explicitly (not in
+	// DefaultChaosCells, whose recorded artifacts stay stable): the same
+	// workload with the radix cache on and flat prompts, auditing that
+	// cache-served tokens are billed as saved, never executed.
+	cfg.Cells = append(append([]string{}, cfg.Cells...), "prefix-cache")
 	for _, p := range RunChaos(cfg) {
 		if p.Completed != p.Jobs {
 			t.Errorf("%s: completed %d of %d jobs", p.Mode, p.Completed, p.Jobs)
@@ -49,6 +54,16 @@ func TestChaosInvariants(t *testing.T) {
 				t.Errorf("replica-crash: crashes=%d requeued=%d — the fault plan never bit",
 					p.Crashes, p.Requeued)
 			}
+		case "prefix-cache":
+			if p.Faults != 0 {
+				t.Errorf("prefix-cache: %d faults fired in the fault-free cell", p.Faults)
+			}
+			if p.HitTokens == 0 {
+				t.Errorf("prefix-cache: no prompt tokens served from cache — the cell never hit")
+			}
+		}
+		if p.Mode != "prefix-cache" && p.HitTokens != 0 {
+			t.Errorf("%s: prefix cache hit %d tokens with the cache disabled", p.Mode, p.HitTokens)
 		}
 	}
 }

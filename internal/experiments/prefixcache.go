@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/token"
+)
+
+// PrefixCacheConfig parameterizes the kernel radix prefix-cache sweep: a
+// multi-tenant workload in which every job within a tenant submits the
+// same long prompt preamble followed by a short unique suffix — the
+// system-prompt / few-shot-template shape that dominates production
+// serving. With the cache off every job prefills its full prompt from
+// scratch; with it on, the kernel deduplicates the shared preamble
+// across jobs by copy-on-write KV share and prefills only the tail.
+type PrefixCacheConfig struct {
+	// Tenants is the number of distinct shared preambles; one closed-loop
+	// client per tenant runs its jobs back to back.
+	Tenants int
+	// JobsPerTenant is how many prompt+decode jobs each tenant runs. The
+	// first job of a tenant seeds the cache; the rest can hit.
+	JobsPerTenant int
+	// PreambleTokens is the shared prompt prefix length per tenant.
+	PreambleTokens int
+	// SuffixTokens is the unique per-job prompt tail.
+	SuffixTokens int
+	// DecodeTokens is the per-job decode length after the prompt.
+	DecodeTokens int
+	// ChunkTokens overrides the cache's radix indexing chunk; zero keeps
+	// the core default.
+	ChunkTokens int
+	// ForceOn runs every cell with the cache enabled (the -prefix-cache
+	// flag), turning the sweep into an on/on/on+order sanity run.
+	ForceOn bool
+	// Seed offsets the deterministic workload streams (see seedBase); 0
+	// and 1 both select the recorded baseline.
+	Seed int64
+}
+
+// DefaultPrefixCache returns the sweep used by symphony-bench
+// -exp prefixcache.
+func DefaultPrefixCache() PrefixCacheConfig {
+	return PrefixCacheConfig{
+		Tenants:        6,
+		JobsPerTenant:  8,
+		PreambleTokens: 768,
+		SuffixTokens:   64,
+		DecodeTokens:   16,
+		Seed:           1,
+	}
+}
+
+// QuickPrefixCache returns a reduced sweep for -quick and the test
+// suite.
+func QuickPrefixCache() PrefixCacheConfig {
+	return PrefixCacheConfig{
+		Tenants:        4,
+		JobsPerTenant:  8,
+		PreambleTokens: 512,
+		SuffixTokens:   64,
+		DecodeTokens:   4,
+		Seed:           1,
+	}
+}
+
+// prefixCacheCells names the sweep's kernel configurations in
+// presentation order: cache off, cache on, and cache on with
+// cache-aware in-lane ordering (longest cached prefix first).
+var prefixCacheCells = []string{"off", "on", "on+order"}
+
+// PrefixCachePoint is one cell's measurement on the shared-preamble
+// workload.
+type PrefixCachePoint struct {
+	Cell       string
+	Enabled    bool
+	CacheOrder bool
+	Tenants    int
+	Jobs       int
+	Completed  int
+	// Makespan covers the client phase; Throughput is virtual jobs per
+	// second over it.
+	Makespan   time.Duration
+	Throughput float64
+	// Speedup is vs the off row (1 when absent).
+	Speedup float64
+	// PromptTokens is the total prompt tokens submitted across jobs;
+	// HitTokens of them were served from the cache instead of prefilled,
+	// and SavedFrac is their ratio.
+	PromptTokens int64
+	HitTokens    int64
+	SavedFrac    float64
+	// SavedPrefill is the virtual prefill compute the cache avoided.
+	SavedPrefill time.Duration
+	// Cache ledger at the end of the run.
+	Nodes      int
+	Lookups    int64
+	Hits       int64
+	Insertions int64
+	Evictions  int64
+	// Shares counts kvfs cross-tree page adoptions (one per attach).
+	Shares int64
+}
+
+// RunPrefixCache sweeps the three cells over the shared-preamble
+// workload.
+func RunPrefixCache(cfg PrefixCacheConfig) []PrefixCachePoint {
+	var out []PrefixCachePoint
+	for _, cell := range prefixCacheCells {
+		out = append(out, runPrefixCacheCell(cfg, cell))
+	}
+	var base float64
+	for _, p := range out {
+		if p.Cell == "off" {
+			base = p.Throughput
+			break
+		}
+	}
+	for i := range out {
+		if base > 0 {
+			out[i].Speedup = out[i].Throughput / base
+		} else {
+			out[i].Speedup = 1
+		}
+	}
+	return out
+}
+
+// prefixPromptTokens builds tenant t's job-j prompt: the tenant's shared
+// preamble followed by the job's unique suffix.
+func prefixPromptTokens(cfg PrefixCacheConfig, base, t, j int) []token.ID {
+	toks := make([]token.ID, 0, cfg.PreambleTokens+cfg.SuffixTokens)
+	for i := 0; i < cfg.PreambleTokens; i++ {
+		toks = append(toks, token.ID(base+1_000_000+t*100_000+i))
+	}
+	for i := 0; i < cfg.SuffixTokens; i++ {
+		toks = append(toks, token.ID(base+5_000_000+t*100_000+j*1_000+i))
+	}
+	return toks
+}
+
+// runPrefixCacheCell measures one kernel configuration on the workload.
+func runPrefixCacheCell(cfg PrefixCacheConfig, cell string) PrefixCachePoint {
+	enabled := cfg.ForceOn || cell != "off"
+	order := cell == "on+order"
+	clk := simclock.New()
+	bpt := model.A100Llama13B().KVBytesPerToken
+	k := core.New(clk, core.Config{
+		Models: map[string]*model.Model{"llama-13b": model.New(model.Llama13B())},
+		// Capacity is not the variable under study: size the pool so the
+		// closed-loop population never hits ErrNoSpace.
+		FS:     fig3FS(64<<30, bpt),
+		Policy: sched.DefaultPoisson(),
+		Prefix: core.PrefixConfig{
+			Enabled:         enabled,
+			ChunkTokens:     cfg.ChunkTokens,
+			CacheAwareOrder: order,
+		},
+	})
+
+	base := seedBase(cfg.Seed)
+	var (
+		mu        sync.Mutex
+		completed int
+		lastDone  time.Duration
+		runErr    error
+	)
+	noteErr := func(err error) {
+		mu.Lock()
+		if runErr == nil && err != nil {
+			runErr = err
+		}
+		mu.Unlock()
+	}
+	drive(clk, func() {
+		wg := clk.NewWaitGroup()
+		for t := 0; t < cfg.Tenants; t++ {
+			t := t
+			wg.Add(1)
+			p := k.Submit(fmt.Sprintf("tenant-%d", t), func(ctx *core.Ctx) error {
+				// Stagger starts so the first job of each tenant lands (and
+				// populates the cache) before its followers phase-lock.
+				if err := ctx.Sleep(time.Duration(t) * time.Millisecond); err != nil {
+					return err
+				}
+				for j := 0; j < cfg.JobsPerTenant; j++ {
+					f, err := ctx.KvAnon()
+					if err != nil {
+						return err
+					}
+					toks := prefixPromptTokens(cfg, base, t, j)
+					pos := make([]int, len(toks))
+					for i := range pos {
+						pos[i] = i
+					}
+					if _, err := ctx.Pred(f, toks, pos); err != nil {
+						f.Remove()
+						return err
+					}
+					for d := 0; d < cfg.DecodeTokens; d++ {
+						if err := migratePred(ctx, f, 1, base+9_000_000+t*100_000+j*1_000+d); err != nil {
+							f.Remove()
+							return err
+						}
+					}
+					f.Remove()
+					now := ctx.Clock().Now()
+					mu.Lock()
+					completed++
+					if now > lastDone {
+						lastDone = now
+					}
+					mu.Unlock()
+				}
+				return nil
+			})
+			clk.Go("join-tenant", func() {
+				defer wg.Done()
+				noteErr(p.Wait())
+			})
+		}
+		wg.Wait()
+	})
+	if runErr != nil {
+		panic(fmt.Sprintf("experiments: prefixcache cell %s: %v", cell, runErr))
+	}
+
+	st := k.Stats()
+	pt := PrefixCachePoint{
+		Cell:         cell,
+		Enabled:      enabled,
+		CacheOrder:   order,
+		Tenants:      cfg.Tenants,
+		Jobs:         cfg.Tenants * cfg.JobsPerTenant,
+		Completed:    completed,
+		Makespan:     lastDone,
+		PromptTokens: int64(cfg.Tenants*cfg.JobsPerTenant) * int64(cfg.PreambleTokens+cfg.SuffixTokens),
+		HitTokens:    st.PrefixCache.HitTokens,
+		SavedPrefill: st.PrefixCache.SavedPrefill,
+		Nodes:        st.PrefixCache.Nodes,
+		Lookups:      st.PrefixCache.Lookups,
+		Hits:         st.PrefixCache.Hits,
+		Insertions:   st.PrefixCache.Insertions,
+		Evictions:    st.PrefixCache.Evictions,
+		Shares:       st.FS.Shares,
+	}
+	if pt.Makespan > 0 {
+		pt.Throughput = float64(completed) / pt.Makespan.Seconds()
+	}
+	if pt.PromptTokens > 0 {
+		pt.SavedFrac = float64(pt.HitTokens) / float64(pt.PromptTokens)
+	}
+	return pt
+}
+
+// PrefixCacheTable renders the sweep.
+func PrefixCacheTable(points []PrefixCachePoint) metrics.Table {
+	t := metrics.Table{
+		Title: "P1: kernel radix prefix cache on a shared-preamble multi-tenant workload",
+		Headers: []string{"cell", "jobs/s", "speedup", "saved-frac", "hit-tok", "saved-prefill",
+			"nodes", "lookups", "hits", "inserts", "evicts", "shares"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Cell,
+			fmt.Sprintf("%.2f", p.Throughput), fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.2f", p.SavedFrac), p.HitTokens, p.SavedPrefill.Round(time.Microsecond),
+			p.Nodes, p.Lookups, p.Hits, p.Insertions, p.Evictions, p.Shares)
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package kvfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/token"
+)
+
+// TestAdoptPrefixSharesPages pins the cross-tree share semantics the
+// kernel's radix prefix cache is built on: adopting a page-aligned
+// prefix costs no new GPU pages, both files keep exact logical views,
+// and a later Append into the adopter opens a fresh page instead of
+// copying a shared one.
+func TestAdoptPrefixSharesPages(t *testing.T) {
+	fs := tinyFS(4, 100, 100)
+	src := fs.CreateAnon("a")
+	mustAppend(t, src, 12, 0) // 3 full pages
+	basePages := fs.Stats().GPUPages
+
+	dst := fs.CreateAnon("b")
+	if err := dst.AdoptPrefix(src, 8); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	if got := fs.Stats().GPUPages; got != basePages {
+		t.Fatalf("adopt allocated pages: %d, want %d (pure share)", got, basePages)
+	}
+	if fs.Stats().Shares != 1 {
+		t.Fatalf("shares = %d, want 1", fs.Stats().Shares)
+	}
+	if dst.Len() != 8 {
+		t.Fatalf("dst len = %d, want 8", dst.Len())
+	}
+	toks, _ := seq(12, 0)
+	if want := model.HashContext(0, toks[:8], 0); dst.Tail() != want {
+		t.Fatalf("dst tail = %v, want the 8-token prefix hash %v", dst.Tail(), want)
+	}
+	if dst.Approx() {
+		t.Fatal("adopted prefix marked approximate")
+	}
+
+	// Appending to the adopter must open a fresh page (never COW a shared
+	// one) and leave the source untouched.
+	mustAppend(t, dst, 1, 8)
+	if got := fs.Stats().GPUPages; got != basePages+1 {
+		t.Fatalf("append after adopt used %d pages over base, want 1", got-basePages)
+	}
+	if src.Len() != 12 || src.Tail() != model.HashContext(0, toks, 0) {
+		t.Fatal("source file changed by adopter's append")
+	}
+	wantTail := model.HashContext(model.HashContext(0, toks[:8], 0), []token.ID{token.ID(100 + 8)}, 8)
+	if dst.Tail() != wantTail {
+		t.Fatalf("dst tail after append = %v, want %v", dst.Tail(), wantTail)
+	}
+}
+
+// TestAdoptPrefixSurvivesSourceRemoval pins the refcount rule: shared
+// pages outlive the source file, so a cached prefix stays readable after
+// the job that seeded it removed its own file.
+func TestAdoptPrefixSurvivesSourceRemoval(t *testing.T) {
+	fs := tinyFS(4, 100, 100)
+	src := fs.CreateAnon("a")
+	mustAppend(t, src, 8, 0)
+	dst := fs.CreateAnon("b")
+	if err := dst.AdoptPrefix(src, 8); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	if err := src.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	// Both pages are still live through dst.
+	if got := fs.Stats().GPUPages; got != 2 {
+		t.Fatalf("pages after source removal = %d, want 2", got)
+	}
+	if dst.Len() != 8 {
+		t.Fatalf("dst len = %d after source removal", dst.Len())
+	}
+	if err := dst.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats().GPUPages; got != 0 {
+		t.Fatalf("pages leaked after both removals: %d", got)
+	}
+}
+
+// TestAdoptPrefixRefusals pins every guard on the share: misaligned or
+// oversized token counts, non-empty destinations, approximate sources,
+// off-GPU sources, and removed files are all rejected with the file
+// unchanged.
+func TestAdoptPrefixRefusals(t *testing.T) {
+	fs := tinyFS(4, 100, 100)
+	src := fs.CreateAnon("a")
+	mustAppend(t, src, 12, 0)
+
+	fresh := func() *File { return fs.CreateAnon("b") }
+	for _, tc := range []struct {
+		name   string
+		tokens int
+	}{
+		{"zero", 0}, {"negative", -4}, {"misaligned", 6}, {"beyond-src", 16},
+	} {
+		d := fresh()
+		if err := d.AdoptPrefix(src, tc.tokens); !errors.Is(err, ErrBadIndex) {
+			t.Errorf("%s: err = %v, want ErrBadIndex", tc.name, err)
+		}
+		if d.Len() != 0 {
+			t.Errorf("%s: failed adopt left dst length %d", tc.name, d.Len())
+		}
+	}
+
+	// Non-empty destination.
+	d := fresh()
+	mustAppend(t, d, 4, 0)
+	if err := d.AdoptPrefix(src, 4); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("non-empty dst: err = %v, want ErrBadIndex", err)
+	}
+
+	// Approximate source (Merge yields an approximate context).
+	ap, err := fs.Merge("a", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ap.Approx() {
+		t.Fatal("merge result not approximate")
+	}
+	if err := fresh().AdoptPrefix(ap, 4); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("approx src: err = %v, want ErrBadIndex", err)
+	}
+
+	// Off-GPU source: offload src's exclusive pages to host first.
+	if _, err := src.Offload(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh().AdoptPrefix(src, 4); !errors.Is(err, ErrOffGPU) {
+		t.Errorf("off-GPU src: err = %v, want ErrOffGPU", err)
+	}
+	if _, err := src.Restore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Removed source.
+	if err := src.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh().AdoptPrefix(src, 4); !errors.Is(err, ErrRemoved) {
+		t.Errorf("removed src: err = %v, want ErrRemoved", err)
+	}
+}

@@ -243,6 +243,50 @@ func (f *File) Fork(owner string) (*File, error) {
 	return child, nil
 }
 
+// AdoptPrefix attaches the first tokens entries of src to f — an empty,
+// unrelated file — by sharing src's pages, the cross-tree analogue of
+// Fork used by the kernel's radix prefix cache: two programs that submit
+// the same preamble pay its KV memory once. tokens must be a positive
+// multiple of the page size so only full pages are shared (a later
+// Append into f then always opens a fresh page and never COWs). Both
+// files keep an exact per-file logical view; the shared pages are
+// counted once and, like Fork, pinned to the GPU tier by the shared-page
+// residency invariant, so src must be GPU-resident (restore it first).
+func (f *File) AdoptPrefix(src *File, tokens int) error {
+	fs := f.fs
+	if src.fs != fs {
+		return fmt.Errorf("kvfs: adopt across file systems")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.removed || src.removed {
+		return ErrRemoved
+	}
+	if f.length != 0 || len(f.pages) != 0 {
+		return fmt.Errorf("kvfs: adopt into non-empty file: %w", ErrBadIndex)
+	}
+	p := fs.cfg.PageTokens
+	if tokens <= 0 || tokens%p != 0 || tokens > src.length {
+		return fmt.Errorf("kvfs: adopt %d of %d tokens (page size %d): %w",
+			tokens, src.length, p, ErrBadIndex)
+	}
+	if src.approx {
+		return fmt.Errorf("kvfs: adopt from approximate context: %w", ErrBadIndex)
+	}
+	if !src.gpuResidentLocked() {
+		return ErrOffGPU
+	}
+	f.pages = append([]*page(nil), src.pages[:tokens/p]...)
+	for _, pg := range f.pages {
+		pg.ref++
+	}
+	f.length = tokens
+	f.tail = src.entryAtLocked(tokens - 1).KV
+	f.approx = false
+	fs.shares++
+	return nil
+}
+
 // Truncate shortens the file to its first n entries, releasing pages that
 // fall off the end. Truncation to a prefix is exact: the resulting context
 // hash equals what building the prefix directly would produce.

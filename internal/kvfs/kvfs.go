@@ -147,8 +147,12 @@ type Stats struct {
 	Files         int
 	Forks         int64
 	COWCopies     int64
-	OOMErrors     int64
-	PageTokens    int
+	// Shares counts cross-tree prefix adoptions (AdoptPrefix): page-aligned
+	// prefixes attached to an unrelated empty file by bumping refcounts,
+	// the mechanism behind the kernel's radix prefix cache.
+	Shares     int64
+	OOMErrors  int64
+	PageTokens int
 }
 
 // GPUTokens reports the worst-case token capacity equivalent of used GPU
@@ -181,6 +185,7 @@ type FS struct {
 
 	forks     int64
 	cowCopies int64
+	shares    int64
 	oomErrors int64
 
 	// onRelease is invoked (outside fs.mu, debounced per operation) after
@@ -249,6 +254,7 @@ func (fs *FS) Stats() Stats {
 		Files:         fs.files,
 		Forks:         fs.forks,
 		COWCopies:     fs.cowCopies,
+		Shares:        fs.shares,
 		OOMErrors:     fs.oomErrors,
 		PageTokens:    fs.cfg.PageTokens,
 	}

@@ -54,6 +54,10 @@ type call struct {
 	remaining int
 	prio      Priority
 	queuedAt  time.Duration
+	// prefixHit is the cached-prefix token length the kernel attached to
+	// this call (Call.PrefixHit); cache-aware ordering ranks it within a
+	// lane so the shortest remaining prefill work runs first.
+	prefixHit int
 	onPreempt func(bool) time.Duration
 	done      *simclock.Event
 
@@ -185,6 +189,14 @@ type Config struct {
 	// AdmitMaxWait bounds how long one call may be deferred at admission
 	// (default 10ms); the gate sheds load, it must never starve a call.
 	AdmitMaxWait time.Duration
+	// CacheAwareOrder, when true, refines each iteration's in-lane
+	// ordering SGLang-style: calls whose KV prefix was served by the
+	// kernel's radix prefix cache (Call.PrefixHit) rank ahead of
+	// same-lane peers, longest match first, so the cheapest remaining
+	// prefill work clears the queue before cold prompts. Ties (equal
+	// hits, and all calls when the cache is off) keep FIFO order, so with
+	// no hits the executor behaves exactly as before.
+	CacheAwareOrder bool
 	// CrashCheck, when non-nil, is consulted by each replica at every
 	// iteration boundary; returning true crash-restarts that executor: it
 	// loses all in-flight progress, its admitted and queued calls are
@@ -300,6 +312,7 @@ type Scheduler struct {
 	policy       Policy
 	prio         PriorityPolicy
 	prefillChunk int
+	cacheOrder   bool
 	dispatcher   Dispatcher
 	replicas     []*replica
 	delayHist    *metrics.Histogram // aggregate queue delay across replicas
@@ -384,6 +397,7 @@ func New(clk *simclock.Clock, cfg Config) *Scheduler {
 		policy:       cfg.Policy,
 		prio:         cfg.PriorityPolicy,
 		prefillChunk: cfg.PrefillChunk,
+		cacheOrder:   cfg.CacheAwareOrder,
 		dispatcher:   cfg.Dispatcher,
 		delayHist:    metrics.NewHistogram(),
 		pressure:     cfg.Pressure,
@@ -420,6 +434,10 @@ func (s *Scheduler) PriorityPolicy() string { return s.prio.Name() }
 // PrefillChunk reports the per-iteration prefill-slice bound; 0 when
 // chunked prefill is disabled.
 func (s *Scheduler) PrefillChunk() int { return s.prefillChunk }
+
+// CacheAwareOrder reports whether in-lane iteration ordering favors
+// calls with longer cached-prefix hits.
+func (s *Scheduler) CacheAwareOrder() bool { return s.cacheOrder }
 
 // QueueDelay exposes the aggregate histogram of time calls spent queued
 // before their first token executed, across all replicas and lanes.
@@ -572,6 +590,7 @@ func (s *Scheduler) SubmitCall(meta Call) error {
 		prio:      prio,
 		queuedAt:  now,
 		lastRun:   now,
+		prefixHit: meta.PrefixHit,
 		onPreempt: meta.OnPreempt,
 		done:      s.clk.NewEvent(),
 		decode:    meta.Decode,
@@ -643,6 +662,9 @@ func (s *Scheduler) views(now time.Duration) []ReplicaView {
 // Out-of-range answers are clamped.
 func (s *Scheduler) route(meta Call, now time.Duration) *replica {
 	if len(s.replicas) == 1 {
+		if meta.Placed != nil {
+			meta.Placed(0)
+		}
 		return s.replicas[0]
 	}
 	idx := 0
@@ -653,6 +675,9 @@ func (s *Scheduler) route(meta Call, now time.Duration) *replica {
 	}
 	if idx < 0 || idx >= len(s.replicas) {
 		idx = ((idx % len(s.replicas)) + len(s.replicas)) % len(s.replicas)
+	}
+	if meta.Placed != nil {
+		meta.Placed(idx)
 	}
 	return s.replicas[idx]
 }
@@ -802,6 +827,11 @@ func (r *replica) iterate() error {
 	sort.SliceStable(ranked, func(i, j int) bool {
 		if lanes[ranked[i]] != lanes[ranked[j]] {
 			return lanes[ranked[i]] < lanes[ranked[j]]
+		}
+		if s.cacheOrder && ranked[i].prefixHit != ranked[j].prefixHit {
+			// Cache-aware in-lane order: the call with the longer cached
+			// prefix carries less remaining prefill and clears first.
+			return ranked[i].prefixHit > ranked[j].prefixHit
 		}
 		return ranked[i].queuedAt < ranked[j].queuedAt
 	})

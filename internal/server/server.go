@@ -286,6 +286,20 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			"refused_inflight":  st.Migration.RefusedInFlight,
 			"refused_pressure":  st.Migration.RefusedPressure,
 		},
+		"prefix_cache": map[string]any{
+			"enabled":          st.PrefixCache.Enabled,
+			"chunk_tokens":     st.PrefixCache.ChunkTokens,
+			"nodes":            st.PrefixCache.Nodes,
+			"resident_tokens":  st.PrefixCache.ResidentTokens,
+			"spilled_tokens":   st.PrefixCache.SpilledTokens,
+			"lookups":          st.PrefixCache.Lookups,
+			"hits":             st.PrefixCache.Hits,
+			"hit_tokens":       st.PrefixCache.HitTokens,
+			"saved_prefill_ms": float64(st.PrefixCache.SavedPrefill) / float64(time.Millisecond),
+			"insertions":       st.PrefixCache.Insertions,
+			"evictions":        st.PrefixCache.Evictions,
+			"invalidations":    st.PrefixCache.Invalidations,
+		},
 		"replicas":     replicas,
 		"virtual_time": s.clk.Now().String(),
 	})
